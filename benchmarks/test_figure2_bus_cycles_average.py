@@ -1,0 +1,43 @@
+"""Figure 2: range of bus cycle requirements (trace average).
+
+Paper (pipelined endpoints): Dir1NB 0.3210, WTI 0.1466, Dir0B 0.0491,
+Dragon 0.0336.
+"""
+
+import pytest
+
+from conftest import PAPER_CYCLES_PIPELINED
+from repro.analysis.figures import figure2
+
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def test_figure2_bus_cycles_average(
+    benchmark, comparison, pipe_bus, nonpipe_bus, save_result
+):
+    figure = benchmark(figure2, comparison, SCHEMES)
+    lines = [figure.render(), "", "Pipelined endpoint vs paper:"]
+    measured = {}
+    for scheme in SCHEMES:
+        low = comparison.average_cycles(scheme, pipe_bus)
+        high = comparison.average_cycles(scheme, nonpipe_bus)
+        measured[scheme] = low
+        lines.append(
+            f"  {scheme:<8} {low:.4f} (paper {PAPER_CYCLES_PIPELINED[scheme]:.4f})"
+            f"   non-pipelined {high:.4f}"
+        )
+        assert low <= high
+    save_result("figure2_bus_cycles_average", "\n".join(lines))
+
+    # Paper ordering: Dragon < Dir0B < WTI << Dir1NB.
+    assert (
+        measured["dragon"]
+        < measured["dir0b"]
+        < measured["wti"]
+        < measured["dir1nb"]
+    )
+    # Magnitudes within a 50% band of the paper's values.
+    for scheme in SCHEMES:
+        assert measured[scheme] == pytest.approx(
+            PAPER_CYCLES_PIPELINED[scheme], rel=0.5
+        )

@@ -1,0 +1,25 @@
+"""Figure 3: bus cycle ranges for the individual traces.
+
+The paper's observation: POPS and THOR are similar, PERO is much cheaper
+because its fraction of shared references is much smaller.
+"""
+
+from repro.analysis.figures import figure3
+
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def test_figure3_bus_cycles_per_trace(
+    benchmark, comparison, pipe_bus, save_result
+):
+    figure = benchmark(figure3, comparison, SCHEMES)
+    save_result("figure3_bus_cycles_per_trace", figure.render())
+
+    for scheme in ("dir1nb", "dir0b", "dragon"):
+        per_trace = comparison.per_trace_cycles(scheme, pipe_bus)
+        # PERO is the cheapest trace for every scheme.
+        assert per_trace["PERO"] < per_trace["POPS"]
+        assert per_trace["PERO"] < per_trace["THOR"]
+    # POPS and THOR are within 2x of each other for the directory schemes.
+    dir0b = comparison.per_trace_cycles("dir0b", pipe_bus)
+    assert 0.5 < dir0b["POPS"] / dir0b["THOR"] < 2.0

@@ -1,0 +1,36 @@
+"""Figure 4: bus cycle breakdown as a fraction of each scheme's total."""
+
+import pytest
+
+from repro.analysis.figures import figure4
+from repro.interconnect import Table5Category
+
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def test_figure4_cycle_fractions(benchmark, comparison, pipe_bus, save_result):
+    figure = benchmark(figure4, comparison, pipe_bus, SCHEMES)
+    save_result("figure4_cycle_fractions", figure.render())
+
+    fractions = figure.fractions
+    for label in figure.labels:
+        assert sum(fractions[label].values()) == pytest.approx(1.0)
+
+    # "In Dir1NB ... the number of bus cycles spent on invalidations and
+    # write-backs [is] small compared to the number of memory accesses."
+    dir1nb = fractions["Dir1NB"]
+    assert dir1nb[Table5Category.MEM_ACCESS] > 0.6
+    assert dir1nb[Table5Category.INVALIDATE] < 0.25
+
+    # "most of the bus cycles consumed in WTI are due to the write-through
+    # cache policy."
+    assert fractions["WTI"][Table5Category.WT_OR_WUP] > 0.5
+
+    # "The Dragon scheme splits its bus cycles evenly between loading up
+    # each cache with data and using the bus on write hits."
+    dragon = fractions["Dragon"]
+    assert 0.2 < dragon[Table5Category.MEM_ACCESS] < 0.8
+    assert 0.2 < dragon[Table5Category.WT_OR_WUP] < 0.8
+
+    # Dir0B's non-overlapped directory fraction is small.
+    assert fractions["Dir0B"][Table5Category.DIR_ACCESS] < 0.2

@@ -1,0 +1,26 @@
+"""Figure 5: average bus cycles per bus transaction.
+
+Dragon's average transaction is the cheapest (single-word write updates
+dominate), so fixed per-transaction overheads hurt it most — the setup for
+the Section 5.1 sensitivity analysis.
+"""
+
+from repro.analysis.figures import figure5
+
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def test_figure5_cycles_per_transaction(benchmark, comparison, pipe_bus, save_result):
+    values = benchmark(figure5, comparison, pipe_bus, SCHEMES)
+    lines = ["Figure 5: average bus cycles per bus transaction"]
+    for label, value in values.items():
+        lines.append(f"  {label:<8} {value:.2f}")
+    save_result("figure5_cycles_per_transaction", "\n".join(lines))
+
+    # Dragon's transactions are cheaper than Dir0B's on average.
+    assert values["Dragon"] < values["Dir0B"]
+    # WTI's write-throughs make its transactions cheap too.
+    assert values["WTI"] < values["Dir1NB"]
+    # Every scheme's transactions cost between 1 and 6 pipelined cycles.
+    for value in values.values():
+        assert 1.0 <= value <= 6.0

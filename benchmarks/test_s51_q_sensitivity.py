@@ -1,0 +1,29 @@
+"""Section 5.1: sensitivity to fixed per-transaction overheads.
+
+Paper lines: Dragon 0.0336 + 0.0206*q, Dir0B 0.0491 + 0.0114*q; the gap
+shrinks from 46% at q=0 to 12% at q=1.
+"""
+
+from repro.analysis.sensitivity import overhead_lines, relative_gap
+
+
+def test_s51_q_sensitivity(benchmark, comparison, save_result):
+    lines = benchmark(overhead_lines, comparison)
+    gap0 = relative_gap(lines, q=0)
+    gap1 = relative_gap(lines, q=1)
+    rendered = [
+        "Section 5.1: cycles(q) = base + transactions/ref * q",
+        f"  {lines['dragon'].render()}  (paper: 0.0336 + 0.0206*q)",
+        f"  {lines['dir0b'].render()}  (paper: 0.0491 + 0.0114*q)",
+        f"  Dir0B over Dragon at q=0: {gap0:5.1f}%  (paper 46%)",
+        f"  Dir0B over Dragon at q=1: {gap1:5.1f}%  (paper 12%)",
+    ]
+    save_result("s51_q_sensitivity", "\n".join(rendered))
+
+    # Dragon issues more transactions than Dir0B.
+    assert (
+        lines["dragon"].transactions_per_ref > lines["dir0b"].transactions_per_ref
+    )
+    # The gap shrinks substantially once q is charged.
+    assert gap1 < gap0
+    assert gap1 < 0.65 * gap0

@@ -1,0 +1,27 @@
+"""End of Section 5: effective-processor upper bound.
+
+"A 10-MIPS processor will therefore require a bus cycle every 1500ns, and a
+bus with a cycle time of 100ns will only yield a maximum performance of 15
+effective processors."
+"""
+
+from repro.core import effective_processors
+
+
+def test_s5_processor_bound(benchmark, comparison, pipe_bus, save_result):
+    best = min(
+        comparison.average_cycles(scheme, pipe_bus)
+        for scheme in ("dir0b", "dragon")
+    )
+    bound = benchmark(effective_processors, best)
+    paper_bound = effective_processors(0.03)
+    save_result(
+        "s5_processor_bound",
+        "Effective processors on one shared bus (10 MIPS CPUs, 100ns bus):\n"
+        f"  best measured scheme: {best:.4f} cycles/ref -> "
+        f"{bound:.1f} processors\n"
+        f"  paper's 0.03 cycles/ref -> {paper_bound:.1f} processors "
+        "(paper says 15)",
+    )
+    assert 14 < paper_bound < 18
+    assert 8 < bound < 40

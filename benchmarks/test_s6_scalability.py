@@ -1,0 +1,123 @@
+"""Section 6: directory scheme alternatives for scalability.
+
+Four paper claims are regenerated:
+
+1. sequential invalidation costs almost nothing over broadcast
+   (DirnNB 0.0499 vs Dir0B 0.0491);
+2. Dir1B's cost is linear in the broadcast price with a tiny slope
+   (0.0485 + 0.0006*b);
+3. limited-pointer sweeps: DiriB trades broadcasts for pointers, DiriNB
+   trades misses for pointers;
+4. directory storage: the digit code needs 2*log2(n) bits vs n for the
+   full map.
+"""
+
+import pytest
+
+from conftest import SCALE
+from repro.analysis.scalability import (
+    broadcast_cost_line,
+    directory_storage_bits,
+    sweep_dirib,
+    sweep_dirinb,
+)
+from repro.core.simulator import simulate
+from repro.protocols import Dir1B
+from repro.trace import standard_trace, standard_trace_names
+
+
+def test_s6_sequential_invalidation(benchmark, comparison, pipe_bus, save_result):
+    def measure():
+        return (
+            comparison.average_cycles("dir0b", pipe_bus),
+            comparison.average_cycles("dirnnb", pipe_bus),
+        )
+
+    dir0b, dirnnb = benchmark(measure)
+    save_result(
+        "s6_sequential_invalidation",
+        "Sequential invalidation (DirnNB) vs broadcast (Dir0B), pipelined:\n"
+        f"  Dir0B  {dir0b:.4f} (paper 0.0491)\n"
+        f"  DirnNB {dirnnb:.4f} (paper 0.0499)\n"
+        f"  overhead {100 * (dirnnb / dir0b - 1):.1f}% (paper ~1.6%)",
+    )
+    assert dirnnb >= dir0b * 0.999
+    assert dirnnb < dir0b * 1.06  # "performance degradation is small"
+
+
+def test_s6_dir1b_broadcast_cost_model(benchmark, save_result):
+    def run():
+        lines = []
+        for name in standard_trace_names():
+            result = simulate(
+                Dir1B(4), standard_trace(name, scale=SCALE), trace_name=name
+            )
+            lines.append(broadcast_cost_line(result))
+        intercept = sum(line.intercept for line in lines) / len(lines)
+        slope = sum(line.slope for line in lines) / len(lines)
+        return intercept, slope
+
+    intercept, slope = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "s6_dir1b_broadcast_model",
+        "Dir1B cost model: cycles(b) = intercept + slope*b\n"
+        f"  measured: {intercept:.4f} + {slope:.4f}*b\n"
+        "  paper:    0.0485 + 0.0006*b",
+    )
+    # The broadcast slope is small relative to the base cost: single
+    # invalidation covers the common case.  (The paper's slope is 0.0006;
+    # our synthetic traces have somewhat more multi-copy invalidation
+    # situations, so the slope is larger but still an order of magnitude
+    # below the base.)
+    assert slope < intercept / 8
+    # Even a 16-cycle broadcast stays within ~2x of the base cost.
+    assert intercept + 16 * slope < 2.2 * intercept
+
+
+def test_s6_pointer_sweeps(benchmark, trace_factories, save_result):
+    def run():
+        with_broadcast = sweep_dirib(trace_factories, pointer_counts=(1, 2, 4))
+        without_broadcast = sweep_dirinb(
+            trace_factories, pointer_counts=(1, 2, 4)
+        )
+        return with_broadcast, without_broadcast
+
+    dirib, dirinb = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["DiriB / DiriNB pointer sweeps (trace average):"]
+    for point in dirib + dirinb:
+        lines.append("  " + point.render())
+    save_result("s6_pointer_sweeps", "\n".join(lines))
+
+    # DiriB: broadcasts monotonically fall with pointer count; the miss
+    # rate is untouched (copies are never restricted).
+    broadcasts = [p.broadcasts_per_thousand_refs for p in dirib]
+    assert broadcasts == sorted(broadcasts, reverse=True)
+    assert len({round(p.data_miss_rate, 6) for p in dirib}) == 1
+    # DiriNB: displacements and the miss rate fall as pointers grow —
+    # "trades off a slightly increased miss rate for avoiding broadcasts".
+    displacements = [p.displacements_per_thousand_refs for p in dirinb]
+    assert displacements == sorted(displacements, reverse=True)
+    assert dirinb[0].data_miss_rate >= dirinb[-1].data_miss_rate
+    # With 4 pointers on a 4-cache system both behave like the full map.
+    assert broadcasts[-1] == 0.0
+    assert displacements[-1] == 0.0
+    assert dirinb[-1].cycles_per_reference == pytest.approx(
+        dirib[-1].cycles_per_reference, rel=0.02
+    )
+
+
+def test_s6_directory_storage(benchmark, save_result):
+    cache_counts = (4, 16, 64, 256, 1024)
+    bits = benchmark(directory_storage_bits, cache_counts)
+    header = f"{'Scheme':<20}" + "".join(f"{n:>8}" for n in cache_counts)
+    lines = ["Directory bits per main-memory block:", header]
+    for scheme, row in bits.items():
+        lines.append(f"{scheme:<20}" + "".join(f"{row[n]:>8}" for n in cache_counts))
+    save_result("s6_directory_storage", "\n".join(lines))
+
+    # The digit code grows as 2*log2(n)+1; the full map as n+1.
+    assert bits["Digit code (coarse)"][1024] == 21
+    assert bits["DirnNB (full map)"][1024] == 1025
+    # At scale, every limited scheme is far below the full map.
+    for scheme in ("Dir1B", "Dir4B", "Dir4NB", "Digit code (coarse)"):
+        assert bits[scheme][1024] < bits["DirnNB (full map)"][1024] / 10

@@ -1,0 +1,38 @@
+"""Engine performance: references simulated per second.
+
+Not a paper experiment — a genuine performance benchmark of the simulator
+core so regressions in the hot path are visible.
+"""
+
+from repro.core.simulator import simulate
+from repro.protocols import create_protocol
+from repro.trace import materialize, standard_trace
+
+_TRACE_LENGTH_SCALE = 1.0 / 256.0  # ~12k references
+
+
+def _materialized_pops():
+    return materialize(standard_trace("POPS", scale=_TRACE_LENGTH_SCALE))
+
+
+def test_simulator_throughput_dir0b(benchmark):
+    trace = _materialized_pops()
+    result = benchmark(
+        lambda: simulate(create_protocol("dir0b", 4), trace)
+    )
+    assert result.references == len(trace)
+
+
+def test_simulator_throughput_dragon(benchmark):
+    trace = _materialized_pops()
+    result = benchmark(
+        lambda: simulate(create_protocol("dragon", 4), trace)
+    )
+    assert result.references == len(trace)
+
+
+def test_trace_generation_throughput(benchmark):
+    records = benchmark(
+        lambda: sum(1 for _ in standard_trace("PERO", scale=_TRACE_LENGTH_SCALE))
+    )
+    assert records > 10_000

@@ -1,0 +1,16 @@
+"""Table 1: timing for fundamental bus operations."""
+
+from repro.analysis.tables import render_table1, table1
+from repro.interconnect import BusTiming
+
+
+def test_table1_bus_timing(benchmark, save_result):
+    rows = benchmark(table1, BusTiming())
+    assert rows == {
+        "Transfer 1 data word": 1,
+        "Invalidate": 1,
+        "Wait for Directory": 2,
+        "Wait for Memory": 2,
+        "Wait for Cache": 1,
+    }
+    save_result("table1_bus_timing", render_table1())

@@ -1,0 +1,62 @@
+"""Table 3: summary of trace characteristics (counts in thousands).
+
+Paper values (thousands): POPS 3142/1624/1257/261/2817/325,
+THOR 3222/1456/1398/368/2727/495, PERO 3508/1834/1266/409/3242/266.
+Our synthetic traces are generated at ``1/REPRO_BENCH_SCALE`` of those
+lengths; the *mix* (instruction share, read/write split, user/sys split)
+is the reproduced quantity.
+"""
+
+import pytest
+
+from conftest import SCALE
+from repro.trace import collect_stats, standard_trace, standard_trace_names
+from repro.trace.stats import format_table3
+
+PAPER_MIX = {
+    # fractions of total refs: instr, data reads, data writes, sys
+    "POPS": (1624 / 3142, 1257 / 3142, 261 / 3142, 325 / 3142),
+    "THOR": (1456 / 3222, 1398 / 3222, 368 / 3222, 495 / 3222),
+    "PERO": (1834 / 3508, 1266 / 3508, 409 / 3508, 266 / 3508),
+}
+
+
+def _collect_all():
+    return [
+        collect_stats(standard_trace(name, scale=SCALE), name=name)
+        for name in standard_trace_names()
+    ]
+
+
+def test_table3_trace_characteristics(benchmark, save_result):
+    stats = benchmark.pedantic(_collect_all, rounds=1, iterations=1)
+    lines = [format_table3(stats), "", "Reference mix vs paper:"]
+    for s in stats:
+        instr, reads, writes, sys_frac = (
+            s.instructions / s.total,
+            s.data_reads / s.total,
+            s.data_writes / s.total,
+            s.os_fraction,
+        )
+        p_instr, p_reads, p_writes, p_sys = PAPER_MIX[s.name]
+        lines.append(
+            f"{s.name}: instr {instr:.3f} (paper {p_instr:.3f}), "
+            f"reads {reads:.3f} ({p_reads:.3f}), "
+            f"writes {writes:.3f} ({p_writes:.3f}), "
+            f"sys {sys_frac:.3f} ({p_sys:.3f}), "
+            f"spin/read {s.lock_spin_fraction_of_reads:.3f}"
+        )
+        # Shape assertions: the mix must be in the paper's neighbourhood.
+        assert abs(instr - p_instr) < 0.06
+        assert abs(reads - p_reads) < 0.06
+        assert abs(writes - p_writes) < 0.05
+    # POPS/THOR spin on locks for roughly a third of their reads.
+    by_name = {s.name: s for s in stats}
+    assert by_name["POPS"].lock_spin_fraction_of_reads == pytest.approx(
+        1 / 3, abs=0.12
+    )
+    assert by_name["THOR"].lock_spin_fraction_of_reads == pytest.approx(
+        1 / 3, abs=0.15
+    )
+    assert by_name["PERO"].lock_spin_fraction_of_reads < 0.05
+    save_result("table3_trace_characteristics", "\n".join(lines))

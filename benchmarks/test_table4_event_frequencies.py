@@ -1,0 +1,61 @@
+"""Table 4: event frequencies as a percentage of all references."""
+
+import pytest
+
+from repro.analysis.tables import TABLE4_ROWS, table4
+
+#: The paper's Table 4 (percent of all references); None where it prints '-'.
+PAPER_TABLE4 = {
+    "instr": (49.72, 49.72, 49.72, 49.72),
+    "read": (39.82, 39.82, 39.82, 39.82),
+    "rd-hit": (34.32, 38.88, 38.88, 39.20),
+    "rd-miss(rm)": (5.18, 0.62, 0.62, 0.30),
+    "rm-blk-cln": (4.78, None, 0.23, 0.14),
+    "rm-blk-drty": (0.40, None, 0.40, 0.17),
+    "rm-first-ref": (0.32, 0.32, 0.32, 0.32),
+    "write": (10.46, 10.46, 10.46, 10.46),
+    "wrt-hit(wh)": (10.19, 10.25, 10.25, 10.36),
+    "wh-blk-cln": (None, None, 0.41, None),
+    "wh-blk-drty": (None, None, 9.84, None),
+    "wh-distrib": (None, None, None, 1.74),
+    "wh-local": (None, None, None, 8.62),
+    "wrt-miss(wm)": (0.17, 0.12, 0.11, 0.02),
+    "wm-blk-cln": (0.08, None, 0.02, 0.01),
+    "wm-blk-drty": (0.09, None, 0.09, 0.01),
+    "wm-first-ref": (0.08, 0.08, 0.08, 0.08),
+}
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def test_table4_event_frequencies(benchmark, comparison, save_result):
+    result = benchmark(table4, comparison, SCHEMES)
+
+    lines = [result.render(), "", "Measured vs paper (selected rows):"]
+    for row in TABLE4_ROWS:
+        paper = PAPER_TABLE4[row]
+        cells = []
+        for index, scheme in enumerate(SCHEMES):
+            measured = result.value(row, scheme)
+            reference = f"{paper[index]:.2f}" if paper[index] is not None else "-"
+            cells.append(f"{scheme}: {measured:.2f} (paper {reference})")
+        lines.append(f"  {row:<14} " + "  ".join(cells))
+    save_result("table4_event_frequencies", "\n".join(lines))
+
+    # --- shape assertions against the paper -------------------------------
+    # Dir1NB's read-miss rate is an order of magnitude above Dir0B's.
+    assert result.value("rd-miss(rm)", "dir1nb") > 4 * result.value(
+        "rd-miss(rm)", "dir0b"
+    )
+    # WTI and Dir0B share a state-change spec: identical miss frequencies.
+    assert result.value("rd-miss(rm)", "wti") == pytest.approx(
+        result.value("rd-miss(rm)", "dir0b"), rel=1e-9
+    )
+    # Dragon's miss rate is the native rate — the lowest of all schemes.
+    assert result.value("rd-miss(rm)", "dragon") < result.value(
+        "rd-miss(rm)", "dir0b"
+    )
+    # Headline magnitudes within a factor-of-two band of the paper.
+    assert result.value("rd-miss(rm)", "dir1nb") == pytest.approx(5.18, rel=0.5)
+    assert result.value("rd-miss(rm)", "dir0b") == pytest.approx(0.62, rel=0.5)
+    assert result.value("wh-blk-cln", "dir0b") == pytest.approx(0.41, rel=0.75)
+    assert result.value("wh-distrib", "dragon") == pytest.approx(1.74, rel=0.5)

@@ -1,0 +1,77 @@
+"""Table 5: breakdown of bus cycles per reference (pipelined bus).
+
+Paper cumulative values: Dir1NB 0.3210, WTI 0.1466, Dir0B 0.0491,
+Dragon 0.0336; Dir0B's non-overlapped directory-access component is 0.0041,
+and a Berkeley estimate derived by zeroing directory accesses lands between
+Dir0B and Dragon.
+"""
+
+import pytest
+
+from conftest import PAPER_CYCLES_PIPELINED
+from repro.analysis.tables import table5
+from repro.interconnect import Table5Category
+
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def test_table5_cycle_breakdown(benchmark, comparison, pipe_bus, save_result):
+    result = benchmark(table5, comparison, pipe_bus, SCHEMES)
+
+    lines = [result.render(), "", "Cumulative vs paper:"]
+    for scheme in SCHEMES:
+        lines.append(
+            f"  {scheme:<8} {result.cumulative(scheme):.4f} "
+            f"(paper {PAPER_CYCLES_PIPELINED[scheme]:.4f})"
+        )
+    save_result("table5_cycle_breakdown", "\n".join(lines))
+
+    # Structural claims from the paper's Table 5 discussion:
+    # Dir1NB's directory accesses always overlap memory accesses.
+    assert result.by_category["dir1nb"][Table5Category.DIR_ACCESS] == 0
+    # Dir0B's standalone directory component exists but is small relative to
+    # its total — "the directory itself is not a major bottleneck".
+    dir0b = result.by_category["dir0b"]
+    assert 0 < dir0b[Table5Category.DIR_ACCESS] < 0.2 * result.cumulative("dir0b")
+    # WTI's cycles are dominated by write-throughs.
+    wti = result.by_category["wti"]
+    assert wti[Table5Category.WT_OR_WUP] > 0.5 * result.cumulative("wti")
+    # Dragon splits cycles between loading caches and write updates.
+    dragon = result.by_category["dragon"]
+    assert dragon[Table5Category.WT_OR_WUP] > 0
+    assert dragon[Table5Category.MEM_ACCESS] > 0
+    # Invalidation cycles are a small fraction for Dir0B — the observation
+    # motivating sequential invalidation (Section 6).
+    assert dir0b[Table5Category.INVALIDATE] < 0.2 * result.cumulative("dir0b")
+
+
+def test_berkeley_estimate(benchmark, comparison, pipe_bus, save_result):
+    """The paper estimates Berkeley from Dir0B's event frequencies by
+    zeroing the directory-access cost; we also implement the real state
+    machine.  Both land between Dir0B and Dragon."""
+
+    def berkeley_numbers():
+        dir0b = comparison.average_category_cycles("dir0b", pipe_bus)
+        estimate = sum(
+            cycles
+            for category, cycles in dir0b.items()
+            if category is not Table5Category.DIR_ACCESS
+        )
+        implemented = comparison.average_cycles("berkeley", pipe_bus)
+        return estimate, implemented
+
+    estimate, implemented = benchmark(berkeley_numbers)
+    dir0b_total = comparison.average_cycles("dir0b", pipe_bus)
+    dragon_total = comparison.average_cycles("dragon", pipe_bus)
+    save_result(
+        "table5_berkeley_estimate",
+        "Berkeley ownership (paper aside, Section 5):\n"
+        f"  cost-model estimate (Dir0B minus dir access): {estimate:.4f}\n"
+        f"  full state machine:                           {implemented:.4f}\n"
+        f"  Dir0B {dir0b_total:.4f}  Dragon {dragon_total:.4f}  "
+        "(paper: estimate 0.0499* vs Dir0B 0.0491, Dragon 0.0336;\n"
+        "   *the paper calls it 'roughly midway between DiroB and Dragon')",
+    )
+    assert dragon_total < estimate <= dir0b_total
+    assert dragon_total < implemented <= dir0b_total * 1.02
+    assert implemented == pytest.approx(estimate, rel=0.25)

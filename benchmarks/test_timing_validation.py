@@ -1,0 +1,88 @@
+"""Timing-accurate validation of the paper's analytic traffic arguments.
+
+The paper prices event frequencies after the fact and flags two things it
+cannot capture: bus contention and timing-dependent interleaving.  The
+timed simulator measures both.  This bench
+
+1. validates the coherence of every core scheme under the *timed* schedule
+   (the oracle runs inside the comparison), and
+2. checks that the timed bus utilisation and the throughput degradation
+   behave the way the Section 5.1 q-model and the contention model predict:
+   more expensive schemes stall processors more, and a larger q stretches
+   every transaction.
+"""
+
+from conftest import SCALE
+from repro.core.timing import simulate_timed
+from repro.trace import materialize, standard_trace, take
+
+from repro.protocols import create_protocol
+
+_REFS = 60_000
+
+
+def _trace():
+    return materialize(take(standard_trace("POPS", scale=SCALE), _REFS))
+
+
+def test_timing_validation(benchmark, pipe_bus, save_result):
+    trace = _trace()
+
+    def run():
+        results = {}
+        for scheme in ("dir1nb", "wti", "dir0b", "dragon"):
+            results[scheme] = simulate_timed(
+                create_protocol(scheme, 4), iter(trace), pipe_bus, q_overhead=1
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Timed execution on one arbitrated bus "
+        f"({_REFS} POPS references, q=1):",
+        f"  {'scheme':<8} {'cycles':>8} {'bus util':>9} {'proc util':>10} "
+        f"{'refs/cycle':>11}",
+    ]
+    for scheme, result in results.items():
+        lines.append(
+            f"  {scheme:<8} {result.total_cycles:>8} "
+            f"{result.bus_utilization:>9.3f} "
+            f"{result.processor_utilization:>10.3f} "
+            f"{result.references_per_cycle:>11.3f}"
+        )
+    save_result("timing_validation", "\n".join(lines))
+
+    # Cheaper schemes finish the same work in fewer cycles.
+    assert results["dragon"].total_cycles < results["wti"].total_cycles
+    assert results["dir0b"].total_cycles < results["dir1nb"].total_cycles
+    # Dir1NB saturates the bus hardest (its block moves dominate).
+    assert (
+        results["dir1nb"].bus_utilization > results["dir0b"].bus_utilization
+    )
+    # Nobody exceeds the physical envelope.
+    for result in results.values():
+        assert 0.0 < result.bus_utilization <= 1.0
+        assert 0.0 < result.processor_utilization <= 1.0
+
+
+def test_timing_q_overhead_effect(benchmark, pipe_bus, save_result):
+    """Section 5.1 made real: grow q and watch the completion time."""
+    trace = _trace()
+
+    def run():
+        return {
+            q: simulate_timed(
+                create_protocol("dragon", 4), iter(trace), pipe_bus, q_overhead=q
+            ).total_cycles
+            for q in (0, 1, 2, 4)
+        }
+
+    cycles_by_q = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Dragon completion time vs per-transaction overhead q:"]
+    for q, cycles in cycles_by_q.items():
+        lines.append(f"  q={q}: {cycles} cycles")
+    save_result("timing_q_overhead", "\n".join(lines))
+    values = list(cycles_by_q.values())
+    assert values == sorted(values)  # q only ever slows things down
+    # Dragon's many transactions make it sensitive to q (Section 5.1).
+    assert cycles_by_q[4] > cycles_by_q[0] * 1.01

@@ -1,0 +1,166 @@
+"""repro — trace-driven evaluation of directory schemes for cache coherence.
+
+A from-scratch reproduction of Agarwal, Simoni, Hennessy & Horowitz,
+*"An Evaluation of Directory Schemes for Cache Coherence"* (ISCA 1988):
+a multiprocessor trace-driven simulator, the full Dir_iX directory protocol
+family plus the snoopy schemes the paper compares against, the paper's bus
+cost models, synthetic workloads calibrated to the paper's traces, and an
+analysis layer that regenerates every table and figure.
+
+Quick start::
+
+    from repro import run_standard_comparison, pipelined_bus, table4
+
+    comparison = run_standard_comparison()          # 4 schemes x 3 traces
+    print(table4(comparison).render())              # the paper's Table 4
+    bus = pipelined_bus()
+    print(comparison.average_cycles("dir0b", bus))  # ~0.05 cycles/ref
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-table/figure reproduction harness.
+"""
+
+from .analysis import (
+    broadcast_cost_line,
+    directory_storage_bits,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    overhead_lines,
+    relative_gap,
+    spin_lock_impact,
+    sweep_dirib,
+    sweep_dirinb,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .core import (
+    ComparisonResult,
+    InvalidationHistogram,
+    SimulationResult,
+    decompose_miss_rate,
+    effective_processors,
+    run_comparison,
+    run_standard_comparison,
+    simulate,
+    simulate_finite,
+)
+from .interconnect import (
+    BusCostModel,
+    BusOp,
+    BusTiming,
+    nonpipelined_bus,
+    pipelined_bus,
+    standard_buses,
+)
+from .memory import CacheGeometry, FiniteCache, InfiniteCache, LineState, SharingTable
+from .protocols import (
+    PAPER_CORE_SCHEMES,
+    PROTOCOLS,
+    WTI,
+    Berkeley,
+    CoherenceProtocol,
+    Dir0B,
+    Dir1B,
+    Dir1NB,
+    DirCoarse,
+    DiriB,
+    DiriNB,
+    DirnNB,
+    Dragon,
+    Event,
+    Tang,
+    YenFu,
+    create_protocol,
+    protocol_names,
+)
+from .trace import (
+    AccessType,
+    SharingModel,
+    SyntheticWorkload,
+    TraceRecord,
+    WorkloadProfile,
+    collect_stats,
+    exclude_lock_spins,
+    generate_trace,
+    standard_profiles,
+    standard_trace,
+    standard_trace_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "broadcast_cost_line",
+    "directory_storage_bits",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "overhead_lines",
+    "relative_gap",
+    "spin_lock_impact",
+    "sweep_dirib",
+    "sweep_dirinb",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "ComparisonResult",
+    "InvalidationHistogram",
+    "SimulationResult",
+    "decompose_miss_rate",
+    "effective_processors",
+    "run_comparison",
+    "run_standard_comparison",
+    "simulate",
+    "simulate_finite",
+    "BusCostModel",
+    "BusOp",
+    "BusTiming",
+    "nonpipelined_bus",
+    "pipelined_bus",
+    "standard_buses",
+    "CacheGeometry",
+    "FiniteCache",
+    "InfiniteCache",
+    "LineState",
+    "SharingTable",
+    "PAPER_CORE_SCHEMES",
+    "PROTOCOLS",
+    "WTI",
+    "Berkeley",
+    "CoherenceProtocol",
+    "Dir0B",
+    "Dir1B",
+    "Dir1NB",
+    "DirCoarse",
+    "DiriB",
+    "DiriNB",
+    "DirnNB",
+    "Dragon",
+    "Event",
+    "Tang",
+    "YenFu",
+    "create_protocol",
+    "protocol_names",
+    "AccessType",
+    "SharingModel",
+    "SyntheticWorkload",
+    "TraceRecord",
+    "WorkloadProfile",
+    "collect_stats",
+    "exclude_lock_spins",
+    "generate_trace",
+    "standard_profiles",
+    "standard_trace",
+    "standard_trace_names",
+    "__version__",
+]

@@ -1,0 +1,88 @@
+"""Analysis layer: the paper's tables, figures and section experiments."""
+
+from .contention import BusContentionModel, knee_processors, speedup_curve
+from .distribution import DirectoryLoadModel, load_model_from_result
+from .figures import (
+    Figure1,
+    Figure4,
+    RangeBars,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
+from .network import NetworkScaling, network_scaling
+from .scalability import (
+    BroadcastCostLine,
+    PointerSweepPoint,
+    broadcast_cost_line,
+    directory_storage_bits,
+    sweep_dirib,
+    sweep_dirinb,
+)
+from .scaling import (
+    ScalingPoint,
+    dirib_broadcast_scaling,
+    dirinb_miss_scaling,
+    fanout_scaling,
+    scale_profile_to_processors,
+)
+from .sensitivity import OverheadLine, overhead_lines, relative_gap
+from .spinlock import SpinLockImpact, spin_lock_impact
+from .tables import (
+    TABLE4_ROWS,
+    Table4,
+    Table5,
+    render_table1,
+    render_table2,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "BusContentionModel",
+    "knee_processors",
+    "speedup_curve",
+    "DirectoryLoadModel",
+    "load_model_from_result",
+    "NetworkScaling",
+    "network_scaling",
+    "ScalingPoint",
+    "dirib_broadcast_scaling",
+    "dirinb_miss_scaling",
+    "fanout_scaling",
+    "scale_profile_to_processors",
+    "Figure1",
+    "Figure4",
+    "RangeBars",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "BroadcastCostLine",
+    "PointerSweepPoint",
+    "broadcast_cost_line",
+    "directory_storage_bits",
+    "sweep_dirib",
+    "sweep_dirinb",
+    "OverheadLine",
+    "overhead_lines",
+    "relative_gap",
+    "SpinLockImpact",
+    "spin_lock_impact",
+    "TABLE4_ROWS",
+    "Table4",
+    "Table5",
+    "render_table1",
+    "render_table2",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

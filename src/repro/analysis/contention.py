@@ -1,0 +1,116 @@
+"""Bus contention: refining the end-of-Section-5 processor bound.
+
+The paper's effective-processor estimate divides bus supply by per-processor
+demand and calls the result "an optimistic upper bound because we have not
+included ... the effects of bus contention".  This module supplies the
+missing piece with a standard open-queueing approximation: processors
+generating bus transactions at aggregate utilisation ``U`` see their memory
+requests delayed by roughly ``1 / (1 - U)`` (M/M/1 response-time scaling),
+which throttles how fast they can issue further references.
+
+:func:`speedup_curve` solves the resulting fixed point per processor count
+and returns the classic saturating speedup curve; :func:`knee_processors`
+finds where the marginal speedup of one more processor drops below a
+threshold — a more honest answer than the paper's straight-line bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["BusContentionModel", "speedup_curve", "knee_processors"]
+
+
+@dataclass(frozen=True)
+class BusContentionModel:
+    """One processor's bus demand against one bus's supply.
+
+    ``cycles_per_reference`` is the simulator's metric; a processor at full
+    speed issues ``refs_per_second`` references per second, each consuming
+    that many bus cycles; the bus supplies ``1e9 / bus_cycle_ns`` cycles per
+    second.
+    """
+
+    cycles_per_reference: float
+    processor_mips: float = 10.0
+    bus_cycle_ns: float = 100.0
+    refs_per_instruction: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_reference <= 0:
+            raise ValueError("cycles_per_reference must be positive")
+        if self.processor_mips <= 0 or self.bus_cycle_ns <= 0:
+            raise ValueError("processor_mips and bus_cycle_ns must be positive")
+
+    @property
+    def demand_fraction(self) -> float:
+        """Bus utilisation one full-speed processor would impose."""
+        refs_per_second = (
+            self.processor_mips * 1e6 * self.refs_per_instruction
+        )
+        bus_cycles_per_second = 1e9 / self.bus_cycle_ns
+        return refs_per_second * self.cycles_per_reference / bus_cycles_per_second
+
+    def utilization(self, n_processors: int, throttle: float = 1.0) -> float:
+        """Aggregate bus utilisation with each processor running at
+        ``throttle`` of full speed."""
+        if n_processors < 0:
+            raise ValueError("n_processors must be non-negative")
+        return min(1.0, n_processors * throttle * self.demand_fraction)
+
+    def effective_speed(self, n_processors: int) -> float:
+        """Per-processor speed (fraction of full speed) at the fixed point.
+
+        Each processor's speed is limited by bus response time: at
+        utilisation ``U = n·s·d`` a transaction takes ``1 / (1 - U)`` times
+        longer, and a processor spends the ``d`` (demand) share of its time
+        on those transactions, so its speed satisfies
+
+            s = 1 / (1 - d + d / (1 - n·s·d)).
+
+        Clearing denominators gives the quadratic
+        ``n·d·(1-d)·s² - (1 + n·d)·s + 1 = 0`` whose smaller root is the
+        physical operating point (the larger root has U > 1).  As n grows,
+        U -> 1 and the aggregate speedup saturates at ``1/d``.
+        """
+        if n_processors <= 0:
+            raise ValueError("n_processors must be positive")
+        d = self.demand_fraction
+        if d == 0:
+            return 1.0
+        a = n_processors * d * (1.0 - d)
+        b = -(1.0 + n_processors * d)
+        c = 1.0
+        if a == 0:  # d == 1: the processor does nothing but bus transactions
+            return -c / b
+        discriminant = b * b - 4 * a * c
+        root = (-b - discriminant**0.5) / (2 * a)
+        return min(1.0, root)
+
+
+def speedup_curve(
+    model: BusContentionModel, processor_counts: Sequence[int]
+) -> Dict[int, float]:
+    """Aggregate speedup (n x per-processor speed) for each machine size."""
+    return {
+        n: n * model.effective_speed(n) for n in processor_counts
+    }
+
+
+def knee_processors(
+    model: BusContentionModel,
+    max_processors: int = 256,
+    marginal_threshold: float = 0.5,
+) -> int:
+    """Smallest n where adding a processor yields < ``marginal_threshold``
+    of a processor's worth of extra speedup (the curve's knee)."""
+    if not 0 < marginal_threshold <= 1:
+        raise ValueError("marginal_threshold must be in (0, 1]")
+    previous = 0.0
+    for n in range(1, max_processors + 1):
+        current = n * model.effective_speed(n)
+        if n > 1 and (current - previous) < marginal_threshold:
+            return n
+        previous = current
+    return max_processors

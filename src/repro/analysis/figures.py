@@ -1,0 +1,208 @@
+"""Data series for the paper's figures (1 through 5).
+
+Figures are returned as plain data (labels, series, bar values) plus a
+``render()`` ASCII view, so the benchmark harness can print the same series
+the paper plots without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..core.comparison import ComparisonResult
+from ..core.invalidation import InvalidationHistogram
+from ..interconnect.bus import (
+    BusCostModel,
+    Table5Category,
+    nonpipelined_bus,
+    pipelined_bus,
+)
+
+__all__ = [
+    "Figure1",
+    "figure1",
+    "RangeBars",
+    "figure2",
+    "figure3",
+    "Figure4",
+    "figure4",
+    "figure5",
+]
+
+
+@dataclass(frozen=True)
+class Figure1:
+    """Histogram: caches invalidated per write to a previously-clean block."""
+
+    percentages: Sequence[float]  # index = fan-out
+    share_at_most_one: float
+    mean_fanout: float
+
+    def render(self) -> str:
+        lines = [
+            "Figure 1: Number of caches invalidated on a write to a",
+            "previously-clean block (% of such writes)",
+        ]
+        for fanout, percent in enumerate(self.percentages):
+            bar = "#" * int(round(percent / 2))
+            lines.append(f"{fanout:>2} | {percent:5.1f}% {bar}")
+        lines.append(
+            f"share with <= 1 invalidation: {100 * self.share_at_most_one:.1f}% "
+            "(paper: over 85%)"
+        )
+        return "\n".join(lines)
+
+
+def figure1(
+    comparison: ComparisonResult, scheme: str = "dir0b"
+) -> Figure1:
+    """Figure 1 from a comparison run (pooled over all traces)."""
+    histogram: InvalidationHistogram = comparison.pooled_invalidation_histogram(
+        scheme
+    )
+    return Figure1(
+        percentages=tuple(histogram.percentages()),
+        share_at_most_one=histogram.share_at_most(1),
+        mean_fanout=histogram.mean_fanout,
+    )
+
+
+@dataclass(frozen=True)
+class RangeBars:
+    """Bars spanning pipelined (low) to non-pipelined (high) bus cycles.
+
+    Used for Figures 2 (trace average) and 3 (per trace).
+    """
+
+    title: str
+    labels: Sequence[str]
+    #: series name -> (low, high) per scheme, in label order
+    series: Mapping[str, Sequence[Tuple[float, float]]]
+
+    def render(self) -> str:
+        lines = [self.title]
+        for name, bars in self.series.items():
+            lines.append(f"  {name}:")
+            for label, (low, high) in zip(self.labels, bars):
+                lines.append(
+                    f"    {label:<10} {low:7.4f} .. {high:7.4f} cycles/ref"
+                )
+        return "\n".join(lines)
+
+
+def figure2(
+    comparison: ComparisonResult, schemes: Sequence[str] = None
+) -> RangeBars:
+    """Figure 2: average bus cycle range per scheme (both bus models)."""
+    schemes = tuple(schemes or comparison.protocols)
+    pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
+    labels = [
+        comparison.results[s][comparison.traces[0]].protocol_label
+        for s in schemes
+    ]
+    bars = [
+        (comparison.average_cycles(s, pipe), comparison.average_cycles(s, nonpipe))
+        for s in schemes
+    ]
+    return RangeBars(
+        title=(
+            "Figure 2: Range of bus cycle requirements (average over traces); "
+            "low endpoint = pipelined bus, high = non-pipelined"
+        ),
+        labels=labels,
+        series={"average": bars},
+    )
+
+
+def figure3(
+    comparison: ComparisonResult, schemes: Sequence[str] = None
+) -> RangeBars:
+    """Figure 3: per-trace bus cycle ranges (POPS and THOR high, PERO low)."""
+    schemes = tuple(schemes or comparison.protocols)
+    pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
+    labels = [
+        comparison.results[s][comparison.traces[0]].protocol_label
+        for s in schemes
+    ]
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for trace in comparison.traces:
+        series[trace] = [
+            (
+                comparison.results[s][trace].cycles_per_reference(pipe),
+                comparison.results[s][trace].cycles_per_reference(nonpipe),
+            )
+            for s in schemes
+        ]
+    return RangeBars(
+        title=(
+            "Figure 3: Range of bus cycle requirements per trace; "
+            "low endpoint = pipelined bus, high = non-pipelined"
+        ),
+        labels=labels,
+        series=series,
+    )
+
+
+@dataclass(frozen=True)
+class Figure4:
+    """Per-scheme breakdown of bus cycles as fractions of the total."""
+
+    labels: Sequence[str]
+    fractions: Mapping[str, Mapping[Table5Category, float]]  # scheme label ->
+
+    def render(self) -> str:
+        lines = [
+            "Figure 4: Bus cycle breakdown as a fraction of each scheme's total"
+        ]
+        for label in self.labels:
+            lines.append(f"  {label}:")
+            for category, fraction in self.fractions[label].items():
+                if fraction > 0:
+                    bar = "#" * int(round(fraction * 40))
+                    lines.append(
+                        f"    {category.value:<12} {100 * fraction:5.1f}% {bar}"
+                    )
+        return "\n".join(lines)
+
+
+def figure4(
+    comparison: ComparisonResult,
+    bus: BusCostModel = None,
+    schemes: Sequence[str] = None,
+) -> Figure4:
+    """Figure 4 (pipelined bus by default)."""
+    bus = bus or pipelined_bus()
+    schemes = tuple(schemes or comparison.protocols)
+    fractions: Dict[str, Dict[Table5Category, float]] = {}
+    labels = []
+    for scheme in schemes:
+        label = comparison.results[scheme][comparison.traces[0]].protocol_label
+        labels.append(label)
+        by_category = comparison.average_category_cycles(scheme, bus)
+        total = sum(by_category.values())
+        fractions[label] = {
+            category: (cycles / total if total else 0.0)
+            for category, cycles in by_category.items()
+        }
+    return Figure4(labels=labels, fractions=fractions)
+
+
+def figure5(
+    comparison: ComparisonResult,
+    bus: BusCostModel = None,
+    schemes: Sequence[str] = None,
+) -> Dict[str, float]:
+    """Figure 5: average bus cycles per bus *transaction* per scheme.
+
+    Dragon's transactions are the cheapest (single-word updates), which is
+    why fixed per-transaction overheads hurt it the most (Section 5.1).
+    """
+    bus = bus or pipelined_bus()
+    schemes = tuple(schemes or comparison.protocols)
+    return {
+        comparison.results[s][comparison.traces[0]].protocol_label: (
+            comparison.average_cycles_per_transaction(s, bus)
+        )
+        for s in schemes
+    }

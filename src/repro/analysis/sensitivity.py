@@ -1,0 +1,78 @@
+"""Section 5.1 sensitivity analysis: fixed per-transaction overheads.
+
+The bus-cycles metric counts only cycles the bus is busy with data; every
+real transaction also pays cache-access, bus-controller and arbitration
+time.  Section 5.1 models this as ``q`` extra cycles per bus transaction and
+observes that the Dragon/Dir0B gap shrinks from 46% (q=0) to 12% (q=1),
+because Dragon performs almost twice as many (cheap) transactions.
+
+The paper's line for each scheme is ``cycles(q) = c0 + t · q`` with ``c0``
+the bus cycles per reference and ``t`` the bus transactions per reference
+(Dragon: 0.0336 + 0.0206·q; Dir0B: 0.0491 + 0.0114·q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from ..core.comparison import ComparisonResult
+from ..interconnect.bus import BusCostModel, pipelined_bus
+
+__all__ = ["OverheadLine", "overhead_lines", "relative_gap"]
+
+
+@dataclass(frozen=True)
+class OverheadLine:
+    """``cycles(q) = base + transactions_per_ref * q`` for one scheme."""
+
+    scheme: str
+    base: float
+    transactions_per_ref: float
+
+    def at(self, q: float) -> float:
+        if q < 0:
+            raise ValueError(f"q must be non-negative, got {q}")
+        return self.base + self.transactions_per_ref * q
+
+    def render(self) -> str:
+        return (
+            f"{self.scheme}: {self.base:.4f} + {self.transactions_per_ref:.4f}"
+            "*q cycles/ref"
+        )
+
+
+def overhead_lines(
+    comparison: ComparisonResult,
+    schemes: Sequence[str] = ("dir0b", "dragon"),
+    bus: BusCostModel = None,
+) -> Dict[str, OverheadLine]:
+    """The Section 5.1 overhead lines for the requested schemes."""
+    bus = bus or pipelined_bus()
+    lines: Dict[str, OverheadLine] = {}
+    for scheme in schemes:
+        label = comparison.results[scheme][comparison.traces[0]].protocol_label
+        lines[scheme] = OverheadLine(
+            scheme=label,
+            base=comparison.average_cycles(scheme, bus),
+            transactions_per_ref=comparison.average_transactions_per_reference(
+                scheme
+            ),
+        )
+    return lines
+
+
+def relative_gap(
+    lines: Mapping[str, OverheadLine],
+    slow: str = "dir0b",
+    fast: str = "dragon",
+    q: float = 0.0,
+) -> float:
+    """How many percent more cycles ``slow`` needs than ``fast`` at overhead q.
+
+    The paper quotes 46% at q=0 shrinking to 12% at q=1.
+    """
+    fast_cycles = lines[fast].at(q)
+    if fast_cycles == 0:
+        raise ValueError("fast scheme has zero cycles; gap undefined")
+    return 100.0 * (lines[slow].at(q) - fast_cycles) / fast_cycles

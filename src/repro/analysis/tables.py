@@ -1,0 +1,231 @@
+"""Builders for the paper's tables (1, 2, 3, 4 and 5).
+
+Each builder returns a small structured object with the table's data plus a
+``render()`` method producing the text layout the benchmark harness prints,
+so a bench run visually mirrors the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from ..core.comparison import ComparisonResult
+from ..interconnect.bus import (
+    BusCostModel,
+    BusTiming,
+    Table5Category,
+    nonpipelined_bus,
+    pipelined_bus,
+)
+from ..trace.stats import TraceStats
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "Table4",
+    "table4",
+    "Table5",
+    "table5",
+    "TABLE4_ROWS",
+]
+
+
+def table1(timing: BusTiming = BusTiming()) -> Dict[str, int]:
+    """Table 1: timing for fundamental bus operations."""
+    return timing.rows()
+
+
+def render_table1(timing: BusTiming = BusTiming()) -> str:
+    lines = ["Table 1: Timing for fundamental bus operations", "-" * 46]
+    for name, cycles in table1(timing).items():
+        lines.append(f"{name:<28} {cycles:>3}")
+    return "\n".join(lines)
+
+
+def table2(
+    pipelined: BusCostModel = None, nonpipelined: BusCostModel = None
+) -> Dict[str, Dict[str, float]]:
+    """Table 2: per-access-type bus cycle costs for both bus models."""
+    pipelined = pipelined or pipelined_bus()
+    nonpipelined = nonpipelined or nonpipelined_bus()
+    rows: Dict[str, Dict[str, float]] = {}
+    pipe_rows = pipelined.table2_rows()
+    nonpipe_rows = nonpipelined.table2_rows()
+    for name in pipe_rows:
+        rows[name] = {
+            "Pipelined Bus": pipe_rows[name],
+            "Non-Pipelined Bus": nonpipe_rows[name],
+        }
+    return rows
+
+
+def render_table2() -> str:
+    lines = [
+        "Table 2: Summary of bus cycle costs",
+        f"{'Access type':<24} {'Pipelined':>10} {'Non-Pipelined':>14}",
+        "-" * 50,
+    ]
+    for name, row in table2().items():
+        lines.append(
+            f"{name:<24} {row['Pipelined Bus']:>10.0f} "
+            f"{row['Non-Pipelined Bus']:>14.0f}"
+        )
+    return "\n".join(lines)
+
+
+def table3(stats: Sequence[TraceStats]) -> List[Dict[str, float]]:
+    """Table 3: trace characteristics (counts in thousands)."""
+    return [s.thousands() for s in stats]
+
+
+#: Table 4's row labels in presentation order.
+TABLE4_ROWS = (
+    "instr",
+    "read",
+    "rd-hit",
+    "rd-miss(rm)",
+    "rm-blk-cln",
+    "rm-blk-drty",
+    "rm-first-ref",
+    "write",
+    "wrt-hit(wh)",
+    "wh-blk-cln",
+    "wh-blk-drty",
+    "wh-distrib",
+    "wh-local",
+    "wrt-miss(wm)",
+    "wm-blk-cln",
+    "wm-blk-drty",
+    "wm-first-ref",
+)
+
+#: Which Table 4 rows the paper leaves blank ('-') for each scheme.
+_SUPPRESSED_ROWS = {
+    "dir1nb": {"wh-blk-cln", "wh-blk-drty", "wh-distrib", "wh-local"},
+    "wti": {
+        "rm-blk-cln",
+        "rm-blk-drty",
+        "wh-blk-cln",
+        "wh-blk-drty",
+        "wh-distrib",
+        "wh-local",
+        "wm-blk-cln",
+        "wm-blk-drty",
+    },
+    "dir0b": {"wh-distrib", "wh-local"},
+    "dragon": {"wh-blk-cln", "wh-blk-drty"},
+}
+
+
+@dataclass(frozen=True)
+class Table4:
+    """Event frequencies as a percentage of all references (trace average)."""
+
+    schemes: Sequence[str]
+    labels: Sequence[str]
+    values: Mapping[str, Mapping[str, float]]  # row -> scheme -> percent
+
+    def value(self, row: str, scheme: str) -> float:
+        return self.values[row][scheme]
+
+    def render(self) -> str:
+        header = f"{'Event':<14}" + "".join(
+            f"{label:>10}" for label in self.labels
+        )
+        lines = [
+            "Table 4: Event frequencies (% of all references, trace average)",
+            header,
+            "-" * len(header),
+        ]
+        for row in TABLE4_ROWS:
+            cells = []
+            for scheme in self.schemes:
+                if row in _SUPPRESSED_ROWS.get(scheme, set()):
+                    cells.append(f"{'-':>10}")
+                else:
+                    cells.append(f"{self.values[row][scheme]:>10.2f}")
+            lines.append(f"{row:<14}" + "".join(cells))
+        return "\n".join(lines)
+
+
+def table4(comparison: ComparisonResult, schemes: Sequence[str] = None) -> Table4:
+    """Build Table 4 from a comparison run."""
+    schemes = tuple(schemes or comparison.protocols)
+    values: Dict[str, Dict[str, float]] = {}
+    for row in TABLE4_ROWS:
+        values[row] = {
+            scheme: comparison.average_event_percent(scheme, row)
+            for scheme in schemes
+        }
+    labels = [
+        comparison.results[scheme][comparison.traces[0]].protocol_label
+        for scheme in schemes
+    ]
+    return Table4(schemes=schemes, labels=labels, values=values)
+
+
+#: Table 5's row order.
+_TABLE5_ORDER = (
+    Table5Category.MEM_ACCESS,
+    Table5Category.INVALIDATE,
+    Table5Category.WRITE_BACK,
+    Table5Category.WT_OR_WUP,
+    Table5Category.DIR_ACCESS,
+)
+
+
+@dataclass(frozen=True)
+class Table5:
+    """Bus-cycle breakdown per reference by operation type (one bus model)."""
+
+    bus: str
+    schemes: Sequence[str]
+    labels: Sequence[str]
+    by_category: Mapping[str, Mapping[Table5Category, float]]
+
+    def cumulative(self, scheme: str) -> float:
+        return sum(self.by_category[scheme].values())
+
+    def render(self) -> str:
+        header = f"{'Access type':<14}" + "".join(
+            f"{label:>10}" for label in self.labels
+        )
+        lines = [
+            f"Table 5: Breakdown of bus cycles per reference ({self.bus} bus)",
+            header,
+            "-" * len(header),
+        ]
+        for category in _TABLE5_ORDER:
+            cells = []
+            for scheme in self.schemes:
+                value = self.by_category[scheme][category]
+                cells.append(f"{value:>10.4f}" if value > 0 else f"{'-':>10}")
+            lines.append(f"{category.value:<14}" + "".join(cells))
+        lines.append(
+            f"{'cumulative':<14}"
+            + "".join(f"{self.cumulative(s):>10.4f}" for s in self.schemes)
+        )
+        return "\n".join(lines)
+
+
+def table5(
+    comparison: ComparisonResult,
+    bus: BusCostModel = None,
+    schemes: Sequence[str] = None,
+) -> Table5:
+    """Build Table 5 (pipelined bus by default) from a comparison run."""
+    bus = bus or pipelined_bus()
+    schemes = tuple(schemes or comparison.protocols)
+    by_category = {
+        scheme: comparison.average_category_cycles(scheme, bus)
+        for scheme in schemes
+    }
+    labels = [
+        comparison.results[scheme][comparison.traces[0]].protocol_label
+        for scheme in schemes
+    ]
+    return Table5(
+        bus=bus.name, schemes=schemes, labels=labels, by_category=by_category
+    )

@@ -1,0 +1,270 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands::
+
+    repro-coherence compare  [--schemes ...] [--scale N] [--bus ...]
+    repro-coherence table4   [--scale N]
+    repro-coherence table5   [--scale N]
+    repro-coherence figure1  [--scale N]
+    repro-coherence spinlock [--scale N]
+    repro-coherence storage  [--caches 4 16 64 256 1024]
+    repro-coherence trace-stats [--scale N]
+    repro-coherence classify TRACE [--scale N]
+    repro-coherence validate SCHEME [--scale N]
+    repro-coherence modelcheck SCHEME [--caches 2] [--depth 6]
+    repro-coherence timed SCHEME [--scale N] [--q 1]
+    repro-coherence export-trace NAME FILE [--scale N] [--format text|binary]
+
+``--scale`` is the denominator applied to the paper's trace lengths
+(``--scale 16`` simulates 1/16 of ~3.2M references per trace).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    directory_storage_bits,
+    figure1,
+    figure2,
+    spin_lock_impact,
+    table4,
+    table5,
+)
+from .core import run_standard_comparison
+from .interconnect import nonpipelined_bus, pipelined_bus
+from .protocols import PAPER_CORE_SCHEMES, protocol_names
+from .trace import collect_stats, standard_trace, standard_trace_names
+from .trace.atum import write_binary, write_text
+from .trace.stats import format_table3
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_SCALE_DENOMINATOR = 16.0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coherence",
+        description=(
+            "Trace-driven evaluation of directory schemes for cache "
+            "coherence (ISCA 1988 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=_DEFAULT_SCALE_DENOMINATOR,
+        metavar="N",
+        help="simulate 1/N of the paper's trace lengths (default 16)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="bus cycles per reference per scheme")
+    compare.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(PAPER_CORE_SCHEMES),
+        choices=protocol_names(),
+        metavar="SCHEME",
+        help=f"schemes to compare (choices: {', '.join(protocol_names())})",
+    )
+
+    sub.add_parser("table4", help="event frequencies (paper Table 4)")
+    sub.add_parser("table5", help="bus-cycle breakdown (paper Table 5)")
+    sub.add_parser("figure1", help="invalidation fan-out histogram (Figure 1)")
+    sub.add_parser("spinlock", help="lock-test exclusion experiment (Sec 5.2)")
+    sub.add_parser("trace-stats", help="trace characteristics (paper Table 3)")
+
+    storage = sub.add_parser("storage", help="directory storage scaling (Sec 6)")
+    storage.add_argument(
+        "--caches", nargs="+", type=int, default=[4, 16, 64, 256, 1024]
+    )
+
+    classify = sub.add_parser(
+        "classify", help="sharing-pattern composition of a trace"
+    )
+    classify.add_argument("trace", choices=list(standard_trace_names()))
+
+    validate = sub.add_parser(
+        "validate", help="value-level coherence validation of a scheme"
+    )
+    validate.add_argument("scheme", choices=protocol_names())
+
+    modelcheck = sub.add_parser(
+        "modelcheck", help="exhaustively verify a scheme on a small config"
+    )
+    modelcheck.add_argument("scheme", choices=protocol_names())
+    modelcheck.add_argument("--caches", type=int, default=2)
+    modelcheck.add_argument("--blocks", type=int, default=1)
+    modelcheck.add_argument("--depth", type=int, default=6)
+
+    timed = sub.add_parser(
+        "timed", help="timing-accurate run with bus arbitration"
+    )
+    timed.add_argument("scheme", choices=protocol_names())
+    timed.add_argument("--q", type=int, default=1, help="fixed overhead cycles")
+
+    export = sub.add_parser(
+        "export-trace", help="write a synthetic trace to an ATUM-style file"
+    )
+    export.add_argument("trace", choices=list(standard_trace_names()))
+    export.add_argument("path")
+    export.add_argument("--format", choices=["text", "binary"], default="text")
+    return parser
+
+
+def _scale(args: argparse.Namespace) -> float:
+    if args.scale <= 0:
+        raise SystemExit("--scale must be positive")
+    return 1.0 / args.scale
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    comparison = run_standard_comparison(tuple(args.schemes), scale=_scale(args))
+    pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
+    bars = figure2(comparison)
+    print(bars.render())
+    print()
+    for scheme in args.schemes:
+        print(
+            f"{scheme:<10} pipelined {comparison.average_cycles(scheme, pipe):.4f}"
+            f"  non-pipelined {comparison.average_cycles(scheme, nonpipe):.4f}"
+            " cycles/ref"
+        )
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    comparison = run_standard_comparison(scale=_scale(args))
+    print(table4(comparison).render())
+
+
+def _cmd_table5(args: argparse.Namespace) -> None:
+    comparison = run_standard_comparison(scale=_scale(args))
+    print(table5(comparison).render())
+
+
+def _cmd_figure1(args: argparse.Namespace) -> None:
+    comparison = run_standard_comparison(("dir0b",), scale=_scale(args))
+    print(figure1(comparison).render())
+
+
+def _cmd_spinlock(args: argparse.Namespace) -> None:
+    scale = _scale(args)
+    factories = {
+        name: (lambda name=name: standard_trace(name, scale=scale))
+        for name in standard_trace_names()
+    }
+    for impact in spin_lock_impact(factories).values():
+        print(impact.render())
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> None:
+    scale = _scale(args)
+    stats = [
+        collect_stats(standard_trace(name, scale=scale), name=name)
+        for name in standard_trace_names()
+    ]
+    print(format_table3(stats))
+
+
+def _cmd_storage(args: argparse.Namespace) -> None:
+    bits = directory_storage_bits(tuple(args.caches))
+    header = f"{'Scheme':<20}" + "".join(f"{n:>8}" for n in args.caches)
+    print("Directory bits per main-memory block vs number of caches")
+    print(header)
+    print("-" * len(header))
+    for scheme, row in bits.items():
+        print(f"{scheme:<20}" + "".join(f"{row[n]:>8}" for n in args.caches))
+
+
+def _cmd_classify(args: argparse.Namespace) -> None:
+    from .trace.classify import classify_blocks, sharing_profile
+
+    trace = standard_trace(args.trace, scale=_scale(args))
+    print(sharing_profile(classify_blocks(trace)).render())
+
+
+def _cmd_validate(args: argparse.Namespace) -> None:
+    from .core import validate_coherence
+    from .protocols import create_protocol
+
+    for name in standard_trace_names():
+        report = validate_coherence(
+            create_protocol(args.scheme, 4),
+            standard_trace(name, scale=_scale(args)),
+        )
+        print(
+            f"{name}: coherent over {report.references} references "
+            f"({report.writes} writes, {report.copies_checked} copy checks)"
+        )
+
+
+def _cmd_modelcheck(args: argparse.Namespace) -> None:
+    from .core import model_check
+    from .protocols import create_protocol
+
+    report = model_check(
+        lambda n: create_protocol(args.scheme, n),
+        n_caches=args.caches,
+        n_blocks=args.blocks,
+        depth=args.depth,
+    )
+    print(report.render())
+    if not report.ok:
+        raise SystemExit(1)
+
+
+def _cmd_timed(args: argparse.Namespace) -> None:
+    from .core import simulate_timed
+    from .protocols import create_protocol
+
+    bus = pipelined_bus()
+    for name in standard_trace_names():
+        result = simulate_timed(
+            create_protocol(args.scheme, 4),
+            standard_trace(name, scale=_scale(args)),
+            bus,
+            q_overhead=args.q,
+        )
+        print(
+            f"{name}: {result.total_cycles} cycles, "
+            f"bus util {result.bus_utilization:.3f}, "
+            f"proc util {result.processor_utilization:.3f}, "
+            f"{result.references_per_cycle:.2f} refs/cycle"
+        )
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> None:
+    trace = standard_trace(args.trace, scale=_scale(args))
+    writer = write_text if args.format == "text" else write_binary
+    count = writer(args.path, trace)
+    print(f"wrote {count} records to {args.path} ({args.format} format)")
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "figure1": _cmd_figure1,
+    "spinlock": _cmd_spinlock,
+    "trace-stats": _cmd_trace_stats,
+    "storage": _cmd_storage,
+    "classify": _cmd_classify,
+    "validate": _cmd_validate,
+    "modelcheck": _cmd_modelcheck,
+    "timed": _cmd_timed,
+    "export-trace": _cmd_export_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Core simulation engine: simulator, counters, metrics, comparison runner."""
+
+from .comparison import ComparisonResult, run_comparison, run_standard_comparison
+from .counters import EventFrequencies, SimulationCounters
+from .finite import FiniteCacheResult, simulate_finite
+from .invalidation import InvalidationHistogram
+from .modelcheck import ModelCheckReport, model_check
+from .oracle import (
+    CoherenceOracle,
+    CoherenceViolation,
+    OracleReport,
+    validate_coherence,
+)
+from .timing import TimingResult, simulate_timed
+from .metrics import (
+    MissRateDecomposition,
+    decompose_miss_rate,
+    effective_processors,
+)
+from .simulator import SimulationResult, simulate
+
+__all__ = [
+    "ComparisonResult",
+    "run_comparison",
+    "run_standard_comparison",
+    "EventFrequencies",
+    "SimulationCounters",
+    "FiniteCacheResult",
+    "simulate_finite",
+    "InvalidationHistogram",
+    "ModelCheckReport",
+    "model_check",
+    "CoherenceOracle",
+    "CoherenceViolation",
+    "OracleReport",
+    "validate_coherence",
+    "TimingResult",
+    "simulate_timed",
+    "MissRateDecomposition",
+    "decompose_miss_rate",
+    "effective_processors",
+    "SimulationResult",
+    "simulate",
+]

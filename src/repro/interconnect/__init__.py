@@ -1,0 +1,31 @@
+"""Interconnect substrate: bus timing models and cost accounting."""
+
+from .bus import (
+    TABLE5_CATEGORY,
+    BusCostModel,
+    BusOp,
+    BusTiming,
+    Table5Category,
+    nonpipelined_bus,
+    pipelined_bus,
+    standard_buses,
+)
+from .costs import BusOpCounts, CostSummary, summarize_costs
+from .network import NetworkModel, Topology, network_cost_model
+
+__all__ = [
+    "TABLE5_CATEGORY",
+    "BusCostModel",
+    "BusOp",
+    "BusTiming",
+    "Table5Category",
+    "nonpipelined_bus",
+    "pipelined_bus",
+    "standard_buses",
+    "NetworkModel",
+    "Topology",
+    "network_cost_model",
+    "BusOpCounts",
+    "CostSummary",
+    "summarize_costs",
+]

@@ -1,0 +1,218 @@
+"""Bus timing models (paper Tables 1 and 2).
+
+Table 1 gives the fundamental operation timings; Table 2 derives per-event
+bus-cycle costs for two organisations of widely diverse complexity:
+
+* a **pipelined** bus with separate address and data paths, which is not
+  held during memory/directory access, and
+* a **non-pipelined** bus that multiplexes address and data and must be held
+  during the access waits.
+
+The cost vocabulary (:class:`BusOp`) is the set of primitive bus actions the
+protocols emit; :class:`BusCostModel` assigns each a cycle count.  Key
+conventions from Section 4.3 that the models encode:
+
+* a memory (or remote cache) block access is "1 cycle to send the address
+  and 4 cycles to get 4 words of data back" plus, on the non-pipelined bus,
+  the access wait;
+* on a write-back the requesting cache *also receives the data* (snarfing),
+  and those data cycles are counted under the write-back category — so a
+  miss satisfied by a remote dirty block costs only the request cycle(s)
+  plus the 4-cycle write-back;
+* directory accesses are overlapped with memory accesses when possible and
+  then cost nothing extra;
+* a broadcast invalidate is assumed to take 1 cycle like a directed one for
+  the headline comparison (Section 4.3); the Section 6 models make its cost
+  ``b`` a parameter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..trace.record import WORDS_PER_BLOCK
+
+__all__ = [
+    "BusOp",
+    "BusTiming",
+    "BusCostModel",
+    "pipelined_bus",
+    "nonpipelined_bus",
+    "standard_buses",
+    "TABLE5_CATEGORY",
+    "Table5Category",
+]
+
+
+class BusOp(enum.Enum):
+    """Primitive bus actions a protocol can charge for one reference."""
+
+    #: full block read supplied by main memory
+    MEM_ACCESS = "mem_access"
+    #: full block supplied directly by a remote cache (Dragon, Berkeley)
+    CACHE_SUPPLY = "cache_supply"
+    #: request cycle(s) that make a remote cache flush a dirty block
+    FLUSH_REQUEST = "flush_request"
+    #: 4-word dirty-block write-back to memory (requester snarfs the data)
+    WRITE_BACK = "write_back"
+    #: one directed invalidation message
+    INVALIDATE = "invalidate"
+    #: one broadcast invalidation
+    BROADCAST_INVALIDATE = "broadcast_invalidate"
+    #: single-word write through to memory (WTI)
+    WRITE_THROUGH = "write_through"
+    #: single-word update of remote cached copies (Dragon)
+    WRITE_UPDATE = "write_update"
+    #: directory check that cannot overlap a memory access
+    DIR_CHECK = "dir_check"
+    #: directory check overlapped with a memory access (free)
+    DIR_CHECK_OVERLAPPED = "dir_check_overlapped"
+    #: Yen & Fu single-bit maintenance message to one cache
+    SINGLE_BIT_UPDATE = "single_bit_update"
+
+
+class Table5Category(enum.Enum):
+    """Row categories of the paper's Table 5 cost breakdown."""
+
+    MEM_ACCESS = "mem access"
+    INVALIDATE = "invalidate"
+    WRITE_BACK = "write-back"
+    WT_OR_WUP = "wt or wup"
+    DIR_ACCESS = "dir access"
+
+
+#: How each primitive op is reported in the Table 5 breakdown.
+TABLE5_CATEGORY: Mapping[BusOp, Table5Category] = {
+    BusOp.MEM_ACCESS: Table5Category.MEM_ACCESS,
+    BusOp.CACHE_SUPPLY: Table5Category.MEM_ACCESS,
+    BusOp.FLUSH_REQUEST: Table5Category.MEM_ACCESS,
+    BusOp.WRITE_BACK: Table5Category.WRITE_BACK,
+    BusOp.INVALIDATE: Table5Category.INVALIDATE,
+    BusOp.BROADCAST_INVALIDATE: Table5Category.INVALIDATE,
+    BusOp.WRITE_THROUGH: Table5Category.WT_OR_WUP,
+    BusOp.WRITE_UPDATE: Table5Category.WT_OR_WUP,
+    BusOp.DIR_CHECK: Table5Category.DIR_ACCESS,
+    BusOp.DIR_CHECK_OVERLAPPED: Table5Category.DIR_ACCESS,
+    BusOp.SINGLE_BIT_UPDATE: Table5Category.INVALIDATE,
+}
+
+
+@dataclass(frozen=True)
+class BusTiming:
+    """Fundamental bus operation timings (paper Table 1), in bus cycles."""
+
+    transfer_word: int = 1
+    invalidate: int = 1
+    wait_for_directory: int = 2
+    wait_for_memory: int = 2
+    wait_for_cache: int = 1
+
+    def rows(self) -> Dict[str, int]:
+        """Table 1 as printable rows."""
+        return {
+            "Transfer 1 data word": self.transfer_word,
+            "Invalidate": self.invalidate,
+            "Wait for Directory": self.wait_for_directory,
+            "Wait for Memory": self.wait_for_memory,
+            "Wait for Cache": self.wait_for_cache,
+        }
+
+
+@dataclass(frozen=True)
+class BusCostModel:
+    """Cycle cost of each primitive bus op for one bus organisation."""
+
+    name: str
+    cycles: Mapping[BusOp, float]
+    timing: BusTiming = field(default_factory=BusTiming)
+
+    def cost_of(self, op: BusOp) -> float:
+        return self.cycles[op]
+
+    def total_cycles(self, op_counts: Mapping[BusOp, float]) -> float:
+        """Weight op counts by this model's costs."""
+        return sum(self.cycles[op] * count for op, count in op_counts.items())
+
+    def with_broadcast_cost(self, b: float) -> "BusCostModel":
+        """A copy where a broadcast invalidate costs ``b`` cycles (Section 6)."""
+        cycles = dict(self.cycles)
+        cycles[BusOp.BROADCAST_INVALIDATE] = b
+        return BusCostModel(
+            name=f"{self.name} (b={b:g})", cycles=cycles, timing=self.timing
+        )
+
+    def table2_rows(self) -> Dict[str, float]:
+        """This model's column of the paper's Table 2 cost summary."""
+        return {
+            "Memory access": self.cycles[BusOp.MEM_ACCESS],
+            "Cache access": self.cycles[BusOp.FLUSH_REQUEST]
+            + self.cycles[BusOp.WRITE_BACK],
+            "Write-back": self.cycles[BusOp.WRITE_BACK],
+            "Write-through / update": self.cycles[BusOp.WRITE_THROUGH],
+            "Directory check": self.cycles[BusOp.DIR_CHECK],
+            "Invalidate": self.cycles[BusOp.INVALIDATE],
+        }
+
+
+def pipelined_bus(
+    timing: BusTiming = BusTiming(),
+    words_per_block: int = WORDS_PER_BLOCK,
+    broadcast_cycles: float = 1.0,
+) -> BusCostModel:
+    """The sophisticated bus: separate address/data paths, not held on waits.
+
+    Memory access: 1 address cycle + one cycle per data word.  Directory
+    checks cost one address cycle when standalone and nothing when overlapped
+    with a memory access.  Write-throughs and updates are single cycles.
+    """
+    data = timing.transfer_word * words_per_block
+    cycles = {
+        BusOp.MEM_ACCESS: 1 + data,
+        BusOp.CACHE_SUPPLY: 1 + data,
+        BusOp.FLUSH_REQUEST: 1,
+        BusOp.WRITE_BACK: data,
+        BusOp.INVALIDATE: timing.invalidate,
+        BusOp.BROADCAST_INVALIDATE: broadcast_cycles,
+        BusOp.WRITE_THROUGH: 1,
+        BusOp.WRITE_UPDATE: 1,
+        BusOp.DIR_CHECK: 1,
+        BusOp.DIR_CHECK_OVERLAPPED: 0,
+        BusOp.SINGLE_BIT_UPDATE: 1,
+    }
+    return BusCostModel(name="pipelined", cycles=cycles, timing=timing)
+
+
+def nonpipelined_bus(
+    timing: BusTiming = BusTiming(),
+    words_per_block: int = WORDS_PER_BLOCK,
+    broadcast_cycles: float = 1.0,
+) -> BusCostModel:
+    """The simple bus: multiplexed address/data, held during access waits.
+
+    Memory access: 1 + wait-for-memory + data transfer = 7 cycles; a remote
+    cache access waits one cycle less (6).  A standalone directory check is
+    1 + wait-for-directory = 3 cycles; write-through/update cost an address
+    cycle plus a data cycle (2).
+    """
+    data = timing.transfer_word * words_per_block
+    cycles = {
+        BusOp.MEM_ACCESS: 1 + timing.wait_for_memory + data,
+        BusOp.CACHE_SUPPLY: 1 + timing.wait_for_cache + data,
+        BusOp.FLUSH_REQUEST: 1 + timing.wait_for_cache,
+        BusOp.WRITE_BACK: data,
+        BusOp.INVALIDATE: timing.invalidate,
+        BusOp.BROADCAST_INVALIDATE: broadcast_cycles,
+        BusOp.WRITE_THROUGH: 1 + timing.transfer_word,
+        BusOp.WRITE_UPDATE: 1 + timing.transfer_word,
+        BusOp.DIR_CHECK: 1 + timing.wait_for_directory,
+        BusOp.DIR_CHECK_OVERLAPPED: 0,
+        BusOp.SINGLE_BIT_UPDATE: 1,
+    }
+    return BusCostModel(name="non-pipelined", cycles=cycles, timing=timing)
+
+
+def standard_buses() -> Dict[str, BusCostModel]:
+    """Both Table 2 bus models keyed by name."""
+    return {"pipelined": pipelined_bus(), "non-pipelined": nonpipelined_bus()}

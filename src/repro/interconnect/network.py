@@ -1,0 +1,146 @@
+"""Interconnection-network cost models: the paper's scaling thesis.
+
+The paper's central argument (Sections 1-2): snoopy schemes rely on
+low-latency broadcasts and therefore cannot outgrow a bus, while directory
+schemes send *directed* messages that "can be easily sent over any
+arbitrary interconnection network".  The bus models of Table 2 cannot
+express that difference — on a bus a broadcast costs the same cycle a
+directed message does.  This module supplies cost models for the networks a
+large machine would actually use, so the Section 6 schemes can be priced
+where they are meant to live:
+
+* ``BUS`` — the paper's pipelined bus (distance 1, free broadcast), for
+  continuity;
+* ``CROSSBAR`` — distance 1 directed messages, no broadcast;
+* ``OMEGA`` — a multistage log2(n)-hop network (the RP3's choice, the
+  paper's example of a scalable machine without coherent caches);
+* ``MESH2D`` — a 2D mesh with ~(2/3)·sqrt(n) average hops.
+
+On networks without hardware broadcast, a broadcast invalidation or a
+snoopy write-update must be **emulated with n-1 directed messages** — the
+cost that makes Dir0B, WTI and Dragon collapse at scale while DirnNB and
+the limited-pointer schemes keep paying per *actual* sharer.
+
+Message cost: ``hops + payload_words`` cycles (wormhole-style pipelining:
+the head pays the distance, the body streams behind).  A block transfer
+carries 4 words; control messages carry 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..trace.record import WORDS_PER_BLOCK
+from .bus import BusCostModel, BusOp
+
+__all__ = ["Topology", "NetworkModel", "network_cost_model"]
+
+
+class Topology(enum.Enum):
+    BUS = "bus"
+    CROSSBAR = "crossbar"
+    OMEGA = "omega"
+    MESH2D = "mesh2d"
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One interconnect: topology, size, and per-hop timing."""
+
+    topology: Topology
+    n_nodes: int
+    per_hop_cycles: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"n_nodes must be >= 2, got {self.n_nodes}")
+        if self.per_hop_cycles <= 0:
+            raise ValueError("per_hop_cycles must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"{self.topology.value}({self.n_nodes})"
+
+    @property
+    def average_hops(self) -> float:
+        """Mean distance of a directed message."""
+        if self.topology in (Topology.BUS, Topology.CROSSBAR):
+            return 1.0
+        if self.topology is Topology.OMEGA:
+            return max(1.0, math.log2(self.n_nodes))
+        # 2D mesh: uniform traffic averages (2/3)*sqrt(n) hops per dimension
+        # pair; use the standard 2*sqrt(n)/3 estimate.
+        side = math.sqrt(self.n_nodes)
+        return max(1.0, 2.0 * side / 3.0)
+
+    @property
+    def has_hardware_broadcast(self) -> bool:
+        """Only the bus delivers one message to everyone simultaneously."""
+        return self.topology is Topology.BUS
+
+    def directed_message_cycles(self, payload_words: int) -> float:
+        """Wormhole message: head pays the distance, body streams behind."""
+        if payload_words < 1:
+            raise ValueError("payload_words must be >= 1")
+        return self.average_hops * self.per_hop_cycles + (payload_words - 1)
+
+    def broadcast_cycles(self, payload_words: int = 1) -> float:
+        """One message to every node.
+
+        Hardware broadcast on the bus; emulated with n-1 directed messages
+        everywhere else (the paper's reason snoopy coherence does not
+        scale).
+        """
+        if self.has_hardware_broadcast:
+            return self.directed_message_cycles(payload_words)
+        return (self.n_nodes - 1) * self.directed_message_cycles(payload_words)
+
+
+def network_cost_model(
+    network: NetworkModel, words_per_block: int = WORDS_PER_BLOCK
+) -> BusCostModel:
+    """Price the protocol bus-op vocabulary on an interconnection network.
+
+    The directory is distributed with the memory modules (the paper's
+    Section 2/7 organisation), so directory checks accompanying a memory
+    request are free (same destination node) and standalone checks cost one
+    control-message round trip.
+
+    Op mapping (control message = 1 word, block = ``words_per_block``):
+
+    * ``MEM_ACCESS``        request + block reply (2 messages)
+    * ``CACHE_SUPPLY``      request -> directory -> owner -> block to
+                            requester (3 messages, the classic 3-hop miss)
+    * ``FLUSH_REQUEST``     request -> directory -> owner (2 control msgs)
+    * ``WRITE_BACK``        owner -> memory and memory/owner -> requester
+                            (2 block messages; networks cannot snarf)
+    * ``INVALIDATE``        one directed control message
+    * ``BROADCAST_INVALIDATE`` hardware broadcast or n-1 directed messages
+    * ``WRITE_THROUGH``     snoopy semantics: the written word must be
+                            visible to every snooping cache as well as
+                            memory, so it is broadcast(-emulated).  (WTI's
+                            "free" invalidations exist only because every
+                            cache sees the write go by.)
+    * ``WRITE_UPDATE``      an update must reach every sharer a snooping
+                            cache would have seen: broadcast(-emulated)
+    * ``DIR_CHECK``         control round trip; overlapped checks free
+    * ``SINGLE_BIT_UPDATE`` one directed control message
+    """
+    control = network.directed_message_cycles(1)
+    block = network.directed_message_cycles(words_per_block)
+    cycles = {
+        BusOp.MEM_ACCESS: control + block,
+        BusOp.CACHE_SUPPLY: 2 * control + block,
+        BusOp.FLUSH_REQUEST: 2 * control,
+        BusOp.WRITE_BACK: 2 * block,
+        BusOp.INVALIDATE: control,
+        BusOp.BROADCAST_INVALIDATE: network.broadcast_cycles(1),
+        BusOp.WRITE_THROUGH: network.broadcast_cycles(1),
+        BusOp.WRITE_UPDATE: network.broadcast_cycles(1),
+        BusOp.DIR_CHECK: 2 * control,
+        BusOp.DIR_CHECK_OVERLAPPED: 0.0,
+        BusOp.SINGLE_BIT_UPDATE: control,
+    }
+    return BusCostModel(name=network.name, cycles=cycles)

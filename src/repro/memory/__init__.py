@@ -1,0 +1,16 @@
+"""Memory-system substrate: line states, caches, and the sharing table."""
+
+from .cache import CacheGeometry, FiniteCache, InfiniteCache
+from .sharing import NO_OWNER, SharingTable, bit_count, iter_bits
+from .state import LineState
+
+__all__ = [
+    "CacheGeometry",
+    "FiniteCache",
+    "InfiniteCache",
+    "NO_OWNER",
+    "SharingTable",
+    "bit_count",
+    "iter_bits",
+    "LineState",
+]

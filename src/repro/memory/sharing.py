@@ -1,0 +1,140 @@
+"""The system-wide sharing table: who holds each block, and who dirtied it.
+
+Every protocol in this library needs the same two facts about a block:
+which caches currently hold a copy (a bitmask over cache indices) and which
+single cache, if any, holds it modified.  :class:`SharingTable` centralises
+that bookkeeping; the protocol classes layer their *policies* (what to
+invalidate, what to broadcast, which events to emit) on top.
+
+For directory protocols the table literally is the directory contents (a
+full-map Censier & Feautrier directory stores exactly a presence bit per
+cache plus a dirty bit).  For snoopy protocols it plays the role of the
+aggregate of all the per-cache state that snooping distributes — the paper
+notes the two organisations track the same information.
+
+Holder sets are plain ints used as bitmasks, which keeps the per-reference
+simulation cost at a couple of dict operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["SharingTable", "NO_OWNER", "iter_bits", "bit_count"]
+
+#: Sentinel for "no cache holds this block dirty".
+NO_OWNER = -1
+
+
+def bit_count(mask: int) -> int:
+    """Number of set bits (cache copies) in a holder mask."""
+    return mask.bit_count()
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of a holder mask, ascending."""
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+class SharingTable:
+    """Tracks, per block, the holder mask and the dirty owner.
+
+    Invariants maintained (and assertable via :meth:`check_invariants`):
+
+    * the dirty owner, when present, is always a holder;
+    * at most one cache holds a block dirty (the paper's single-writer rule).
+    """
+
+    __slots__ = ("_holders", "_dirty")
+
+    def __init__(self) -> None:
+        self._holders: Dict[int, int] = {}
+        self._dirty: Dict[int, int] = {}
+
+    # -- queries ------------------------------------------------------------
+
+    def holders(self, block: int) -> int:
+        """Bitmask of caches holding ``block`` (0 when uncached)."""
+        return self._holders.get(block, 0)
+
+    def is_held(self, block: int, cache: int) -> bool:
+        return bool(self._holders.get(block, 0) & (1 << cache))
+
+    def remote_holders(self, block: int, cache: int) -> int:
+        """Holder mask excluding ``cache`` itself."""
+        return self._holders.get(block, 0) & ~(1 << cache)
+
+    def holder_count(self, block: int) -> int:
+        return bit_count(self._holders.get(block, 0))
+
+    def dirty_owner(self, block: int) -> int:
+        """Cache index holding ``block`` modified, or :data:`NO_OWNER`."""
+        return self._dirty.get(block, NO_OWNER)
+
+    def is_dirty(self, block: int) -> bool:
+        return block in self._dirty
+
+    def is_dirty_in(self, block: int, cache: int) -> bool:
+        return self._dirty.get(block, NO_OWNER) == cache
+
+    def cached_blocks(self) -> Iterator[Tuple[int, int]]:
+        """All ``(block, holder_mask)`` pairs with at least one holder."""
+        return ((block, mask) for block, mask in self._holders.items() if mask)
+
+    def blocks_held_by(self, cache: int) -> List[int]:
+        """All blocks currently held by ``cache`` (diagnostic; O(blocks))."""
+        bit = 1 << cache
+        return [block for block, mask in self._holders.items() if mask & bit]
+
+    # -- updates ------------------------------------------------------------
+
+    def add_holder(self, block: int, cache: int) -> None:
+        self._holders[block] = self._holders.get(block, 0) | (1 << cache)
+
+    def remove_holder(self, block: int, cache: int) -> None:
+        mask = self._holders.get(block, 0) & ~(1 << cache)
+        if mask:
+            self._holders[block] = mask
+        else:
+            self._holders.pop(block, None)
+        if self._dirty.get(block, NO_OWNER) == cache:
+            del self._dirty[block]
+
+    def set_only_holder(self, block: int, cache: int) -> None:
+        """Make ``cache`` the sole holder (invalidating everyone else)."""
+        self._holders[block] = 1 << cache
+        owner = self._dirty.get(block, NO_OWNER)
+        if owner != NO_OWNER and owner != cache:
+            del self._dirty[block]
+
+    def set_dirty(self, block: int, cache: int) -> None:
+        """Mark ``block`` modified by ``cache`` (which must hold it)."""
+        if not self.is_held(block, cache):
+            raise ValueError(
+                f"cache {cache} cannot dirty block {block:#x} it does not hold"
+            )
+        self._dirty[block] = cache
+
+    def clear_dirty(self, block: int) -> None:
+        """Memory has been made consistent with the cached copy."""
+        self._dirty.pop(block, None)
+
+    def purge(self, block: int) -> None:
+        """Remove all copies of ``block`` from all caches."""
+        self._holders.pop(block, None)
+        self._dirty.pop(block, None)
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the single-writer invariant is violated."""
+        for block, owner in self._dirty.items():
+            mask = self._holders.get(block, 0)
+            assert mask & (1 << owner), (
+                f"dirty owner {owner} of block {block:#x} is not a holder"
+            )

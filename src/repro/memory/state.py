@@ -1,0 +1,36 @@
+"""Cache-line states used by the coherence protocols.
+
+The paper's protocols need only a small state vocabulary (Section 1): a
+cached copy is *invalid*, *valid/clean* (possibly shared), or *dirty*
+(exclusive).  The update-based Dragon protocol refines "dirty" into
+owner-supplies states; the Berkeley ownership protocol distinguishes owned
+shared from owned exclusive.  A single enum covers all of them so generic
+machinery (caches, invariant checkers) can be shared.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LineState"]
+
+
+class LineState(enum.Enum):
+    """State of one block in one cache."""
+
+    INVALID = "invalid"
+    #: valid, memory consistent, possibly in other caches too
+    CLEAN = "clean"
+    #: modified, this cache holds the only copy; memory is stale
+    DIRTY = "dirty"
+    #: Dragon/Berkeley: modified and shared; this cache owns (supplies) it
+    SHARED_DIRTY = "shared-dirty"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not LineState.INVALID
+
+    @property
+    def is_modified(self) -> bool:
+        """True when this copy differs from main memory."""
+        return self in (LineState.DIRTY, LineState.SHARED_DIRTY)

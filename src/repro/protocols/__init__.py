@@ -1,0 +1,59 @@
+"""Coherence protocols: the event taxonomy, framework, and all schemes."""
+
+from .base import NO_OPS, AccessOutcome, CoherenceProtocol, OpList
+from .directory import (
+    DigitCode,
+    Dir0B,
+    Dir1B,
+    Dir1NB,
+    DirCoarse,
+    DiriB,
+    DiriNB,
+    DirnNB,
+    Tang,
+    YenFu,
+)
+from .events import (
+    FIRST_REF_EVENTS,
+    READ_MISS_EVENTS,
+    WRITE_HIT_EVENTS,
+    WRITE_MISS_EVENTS,
+    Event,
+)
+from .registry import PAPER_CORE_SCHEMES, PROTOCOLS, create_protocol, protocol_names
+from .snoopy import WTI, Berkeley, CompetitiveUpdate, Dragon, Firefly, Illinois, WriteOnce
+from .software_flush import SoftwareFlush
+
+__all__ = [
+    "NO_OPS",
+    "AccessOutcome",
+    "CoherenceProtocol",
+    "OpList",
+    "DigitCode",
+    "Dir0B",
+    "Dir1B",
+    "Dir1NB",
+    "DirCoarse",
+    "DiriB",
+    "DiriNB",
+    "DirnNB",
+    "Tang",
+    "YenFu",
+    "FIRST_REF_EVENTS",
+    "READ_MISS_EVENTS",
+    "WRITE_HIT_EVENTS",
+    "WRITE_MISS_EVENTS",
+    "Event",
+    "PAPER_CORE_SCHEMES",
+    "PROTOCOLS",
+    "create_protocol",
+    "protocol_names",
+    "WTI",
+    "Berkeley",
+    "CompetitiveUpdate",
+    "Dragon",
+    "Firefly",
+    "Illinois",
+    "WriteOnce",
+    "SoftwareFlush",
+]

@@ -1,0 +1,24 @@
+"""Directory-based coherence protocols (the Dir_iX family and relatives)."""
+
+from .coarse import DigitCode, DirCoarse
+from .dir0b import Dir0B
+from .dir1nb import Dir1NB
+from .dirib import Dir1B, DiriB
+from .dirinb import EVICTION_POLICIES, DiriNB
+from .dirnnb import DirnNB
+from .tang import Tang
+from .yenfu import YenFu
+
+__all__ = [
+    "DigitCode",
+    "DirCoarse",
+    "Dir0B",
+    "Dir1NB",
+    "Dir1B",
+    "DiriB",
+    "EVICTION_POLICIES",
+    "DiriNB",
+    "DirnNB",
+    "Tang",
+    "YenFu",
+]

@@ -1,0 +1,54 @@
+"""Tang's duplicate-directory consistency scheme.
+
+Tang's method (the earliest directory scheme the paper reviews, Section 2)
+keeps, at main memory, a **copy of every cache's tag store and dirty bits**.
+Functionally it maintains exactly the same information as a Censier &
+Feautrier full map — clean blocks in many caches, a dirty block in one — and
+takes the same consistency actions, so its per-reference behaviour and bus
+operations are those of :class:`~repro.protocols.directory.dirnnb.DirnNB`.
+The paper classifies both as DirnNB.
+
+What differs is the *organisation* of the directory: to find which caches
+hold a block, Tang's scheme must associatively search each duplicate cache
+directory instead of indexing one entry by address, and its storage grows
+with total cache capacity (tags) rather than with main-memory size.  The
+storage model below quantifies that difference for the Section 6 scalability
+discussion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .dirnnb import DirnNB
+
+__all__ = ["Tang"]
+
+
+class Tang(DirnNB):
+    """Duplicate-cache-directory organisation of the full-map scheme."""
+
+    name = "tang"
+    label = "Tang"
+    kind = "directory"
+
+    @classmethod
+    def duplicate_directory_bits(
+        cls,
+        n_caches: int,
+        cache_lines: int,
+        address_bits: int = 32,
+        block_size: int = 16,
+        n_sets: int = None,
+    ) -> int:
+        """Total bits of the central duplicate-tag directory.
+
+        One tag plus a dirty bit is duplicated for each line of each cache.
+        ``n_sets`` defaults to ``cache_lines`` (a direct-mapped cache).
+        """
+        if n_sets is None:
+            n_sets = cache_lines
+        offset_bits = int(math.log2(block_size))
+        index_bits = int(math.log2(n_sets))
+        tag_bits = max(0, address_bits - offset_bits - index_bits)
+        return n_caches * cache_lines * (tag_bits + 1)

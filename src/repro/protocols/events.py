@@ -1,0 +1,112 @@
+"""The reference-event taxonomy of the paper's Table 4.
+
+Every memory reference a protocol processes is classified into exactly one
+event.  The taxonomy follows the legend of Table 4:
+
+======================  ====================================================
+event                   meaning
+======================  ====================================================
+``INSTR``               instruction fetch
+``READ_HIT``            data read, block resident
+``RM_BLK_CLEAN``        read miss, block clean in another cache
+``RM_BLK_DIRTY``        read miss, block dirty in another cache
+``RM_UNCACHED``         read miss, block in no cache (but seen before)
+``RM_FIRST_REF``        read miss, first reference to the block in the trace
+``WRITE_HIT``           write hit (protocols that do not subdivide hits)
+``WH_BLK_CLEAN``        write hit, block clean in the writing cache
+``WH_BLK_DIRTY``        write hit, block dirty in the writing cache
+``WH_DISTRIB``          write hit, block also in another cache (Dragon)
+``WH_LOCAL``            write hit, block in no other cache (Dragon)
+``WM_BLK_CLEAN``        write miss, block clean in another cache
+``WM_BLK_DIRTY``        write miss, block dirty in another cache
+``WM_UNCACHED``         write miss, block in no cache (but seen before)
+``WM_FIRST_REF``        write miss, first reference to the block
+======================  ====================================================
+
+First references are classified separately because the paper's methodology
+excludes their cost: they occur in a uniprocessor infinite cache as well, so
+they are not multiprocessing overhead (Section 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+__all__ = [
+    "Event",
+    "READ_MISS_EVENTS",
+    "WRITE_MISS_EVENTS",
+    "WRITE_HIT_EVENTS",
+    "FIRST_REF_EVENTS",
+]
+
+
+class Event(enum.Enum):
+    """Classification of one memory reference (Table 4 legend)."""
+
+    INSTR = "instr"
+    READ_HIT = "rd-hit"
+    RM_BLK_CLEAN = "rm-blk-cln"
+    RM_BLK_DIRTY = "rm-blk-drty"
+    RM_UNCACHED = "rm-uncached"
+    RM_FIRST_REF = "rm-first-ref"
+    WRITE_HIT = "wrt-hit"
+    WH_BLK_CLEAN = "wh-blk-cln"
+    WH_BLK_DIRTY = "wh-blk-drty"
+    WH_DISTRIB = "wh-distrib"
+    WH_LOCAL = "wh-local"
+    WM_BLK_CLEAN = "wm-blk-cln"
+    WM_BLK_DIRTY = "wm-blk-drty"
+    WM_UNCACHED = "wm-uncached"
+    WM_FIRST_REF = "wm-first-ref"
+
+    @property
+    def is_read(self) -> bool:
+        return self in _READ_EVENTS
+
+    @property
+    def is_write(self) -> bool:
+        return self in _WRITE_EVENTS
+
+    @property
+    def is_miss(self) -> bool:
+        return self in READ_MISS_EVENTS or self in WRITE_MISS_EVENTS
+
+    @property
+    def is_first_ref(self) -> bool:
+        return self in FIRST_REF_EVENTS
+
+
+#: Read misses, first references excluded.
+READ_MISS_EVENTS: FrozenSet[Event] = frozenset(
+    {Event.RM_BLK_CLEAN, Event.RM_BLK_DIRTY, Event.RM_UNCACHED}
+)
+
+#: Write misses, first references excluded.
+WRITE_MISS_EVENTS: FrozenSet[Event] = frozenset(
+    {Event.WM_BLK_CLEAN, Event.WM_BLK_DIRTY, Event.WM_UNCACHED}
+)
+
+#: All write-hit classifications.
+WRITE_HIT_EVENTS: FrozenSet[Event] = frozenset(
+    {
+        Event.WRITE_HIT,
+        Event.WH_BLK_CLEAN,
+        Event.WH_BLK_DIRTY,
+        Event.WH_DISTRIB,
+        Event.WH_LOCAL,
+    }
+)
+
+#: Globally-first references to a block (cost excluded by the methodology).
+FIRST_REF_EVENTS: FrozenSet[Event] = frozenset(
+    {Event.RM_FIRST_REF, Event.WM_FIRST_REF}
+)
+
+_READ_EVENTS: FrozenSet[Event] = (
+    frozenset({Event.READ_HIT, Event.RM_FIRST_REF}) | READ_MISS_EVENTS
+)
+_WRITE_EVENTS: FrozenSet[Event] = (
+    WRITE_HIT_EVENTS | WRITE_MISS_EVENTS | frozenset({Event.WM_FIRST_REF})
+)

@@ -1,0 +1,81 @@
+"""Protocol registry: build any scheme by name.
+
+The registry maps short names (``"dir0b"``, ``"dragon"``, ...) to factory
+callables taking the number of caches.  Parameterised schemes register a few
+useful fixed points (``"dir1b"``, ``"dir2nb"``, ...); arbitrary
+configurations are available by calling the classes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import CoherenceProtocol
+from .directory.coarse import DirCoarse
+from .directory.dir0b import Dir0B
+from .directory.dir1nb import Dir1NB
+from .directory.dirib import Dir1B, DiriB
+from .directory.dirinb import DiriNB
+from .directory.dirnnb import DirnNB
+from .directory.tang import Tang
+from .directory.yenfu import YenFu
+from .snoopy.berkeley import Berkeley
+from .snoopy.competitive import CompetitiveUpdate
+from .snoopy.dragon import Dragon
+from .snoopy.firefly import Firefly
+from .snoopy.illinois import Illinois
+from .snoopy.write_once import WriteOnce
+from .snoopy.wti import WTI
+from .software_flush import SoftwareFlush
+
+__all__ = [
+    "PROTOCOLS",
+    "PAPER_CORE_SCHEMES",
+    "create_protocol",
+    "protocol_names",
+]
+
+ProtocolFactory = Callable[[int], CoherenceProtocol]
+
+PROTOCOLS: Dict[str, ProtocolFactory] = {
+    "dir1nb": Dir1NB,
+    "dirnnb": DirnNB,
+    "dir0b": Dir0B,
+    "dir1b": Dir1B,
+    "dir2b": lambda n: DiriB(n, pointers=2),
+    "dir4b": lambda n: DiriB(n, pointers=4),
+    "dir2nb": lambda n: DiriNB(n, pointers=2),
+    "dir4nb": lambda n: DiriNB(n, pointers=4),
+    "tang": Tang,
+    "yenfu": YenFu,
+    "coarse": DirCoarse,
+    "wti": WTI,
+    "dragon": Dragon,
+    "berkeley": Berkeley,
+    "writeonce": WriteOnce,
+    "illinois": Illinois,
+    "firefly": Firefly,
+    "softflush": SoftwareFlush,
+    "competitive": CompetitiveUpdate,
+    "competitive2": lambda n: CompetitiveUpdate(n, limit=2),
+    "competitive8": lambda n: CompetitiveUpdate(n, limit=8),
+}
+
+#: The four schemes of the paper's main evaluation (Section 3), in the
+#: presentation order of Tables 4 and 5.
+PAPER_CORE_SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def create_protocol(name: str, n_caches: int) -> CoherenceProtocol:
+    """Instantiate a registered protocol by short name."""
+    try:
+        factory = PROTOCOLS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+    return factory(n_caches)
+
+
+def protocol_names() -> List[str]:
+    """All registered protocol names, sorted."""
+    return sorted(PROTOCOLS)

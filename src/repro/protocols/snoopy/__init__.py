@@ -1,0 +1,12 @@
+"""Snoopy coherence protocols: the paper's comparison schemes and the
+related-work protocols its bibliography cites."""
+
+from .berkeley import Berkeley
+from .competitive import CompetitiveUpdate
+from .dragon import Dragon
+from .firefly import Firefly
+from .illinois import Illinois
+from .write_once import WriteOnce
+from .wti import WTI
+
+__all__ = ["Berkeley", "CompetitiveUpdate", "Dragon", "Firefly", "Illinois", "WriteOnce", "WTI"]

@@ -1,0 +1,100 @@
+"""Unit tests for the Berkeley Ownership snoopy protocol."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp, pipelined_bus
+from repro.protocols.directory.dir0b import Dir0B
+from repro.protocols.snoopy.berkeley import Berkeley
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+@pytest.fixture
+def proto():
+    return Berkeley(4)
+
+
+class TestOwnership:
+    def test_owner_supplies_without_memory_writeback(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (1, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_DIRTY
+        assert dict(miss.ops) == {BusOp.CACHE_SUPPLY: 1}
+        # Owned-shared: the owner keeps responsibility; memory is stale.
+        assert proto.sharing.dirty_owner(5) == 0
+        assert proto.sharing.holder_count(5) == 2
+
+    def test_owner_supply_costs_same_as_flush_snarf_on_pipelined_bus(self):
+        # The paper's footnote: the optimisation "does not impact our
+        # performance metric in the pipelined bus".
+        bus = pipelined_bus()
+        berkeley = run_ops(Berkeley(4), [(0, "w", 5), (1, "r", 5)])[1]
+        dir0b = run_ops(Dir0B(4), [(0, "w", 5), (1, "r", 5)])[1]
+        cost = lambda o: sum(bus.cost_of(op) * n for op, n in o.ops)  # noqa: E731
+        assert cost(berkeley) == cost(dir0b) == 5
+
+    def test_owned_shared_write_reclaims_exclusivity(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (1, "r", 5), (0, "w", 5)])
+        hit = outcomes[2]
+        assert hit.event is Event.WH_BLK_CLEAN
+        assert dict(hit.ops) == {BusOp.BROADCAST_INVALIDATE: 1}
+        assert proto.sharing.holders(5) == 0b0001
+
+
+class TestNoDirectory:
+    def test_never_checks_a_directory(self, proto):
+        rng = random.Random(83)
+        for _ in range(4000):
+            outcome = proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(25),
+            )
+            assert outcome.op_count(BusOp.DIR_CHECK) == 0
+            assert outcome.op_count(BusOp.DIR_CHECK_OVERLAPPED) == 0
+
+    def test_clean_write_hit_signals_even_when_sole(self, proto):
+        # Without a directory, the writer cannot know it is alone.
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        hit = outcomes[1]
+        assert hit.event is Event.WH_BLK_CLEAN
+        assert dict(hit.ops) == {BusOp.BROADCAST_INVALIDATE: 1}
+        assert hit.invalidation_fanout == 0
+
+
+class TestStateModel:
+    def test_write_miss_invalidates_all_copies(self, proto):
+        run_ops(proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5), (3, "w", 5)])
+        assert proto.sharing.holders(5) == 0b1000
+        assert proto.sharing.is_dirty_in(5, 3)
+
+    def test_exclusive_owner_writes_locally(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (0, "w", 5)])
+        assert outcomes[1].event is Event.WH_BLK_DIRTY
+        assert outcomes[1].ops == ()
+
+    def test_single_writer_invariant(self, proto):
+        rng = random.Random(89)
+        for _ in range(4000):
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(25),
+            )
+        proto.sharing.check_invariants()
+
+    def test_event_classification_matches_dir0b(self):
+        """Same state-change model as Dir0B (the basis of the paper's
+        Berkeley estimate): hit/miss classification coincides."""
+        rng = random.Random(97)
+        a, b = Berkeley(4), Dir0B(4)
+        for _ in range(5000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(30)
+            out_a = a.access(cache, access, block)
+            out_b = b.access(cache, access, block)
+            assert out_a.event.is_miss == out_b.event.is_miss

@@ -1,0 +1,130 @@
+"""Unit tests for the bus timing models (paper Tables 1 and 2)."""
+
+import pytest
+
+from repro.interconnect.bus import (
+    TABLE5_CATEGORY,
+    BusOp,
+    BusTiming,
+    Table5Category,
+    nonpipelined_bus,
+    pipelined_bus,
+    standard_buses,
+)
+
+
+class TestTable1Timing:
+    def test_paper_defaults(self):
+        rows = BusTiming().rows()
+        assert rows == {
+            "Transfer 1 data word": 1,
+            "Invalidate": 1,
+            "Wait for Directory": 2,
+            "Wait for Memory": 2,
+            "Wait for Cache": 1,
+        }
+
+
+class TestPipelinedBus:
+    """Section 4.3's pipelined-bus costs."""
+
+    @pytest.fixture(scope="class")
+    def bus(self):
+        return pipelined_bus()
+
+    def test_memory_access_is_five_cycles(self, bus):
+        assert bus.cost_of(BusOp.MEM_ACCESS) == 5
+
+    def test_cache_supply_is_five_cycles(self, bus):
+        assert bus.cost_of(BusOp.CACHE_SUPPLY) == 5
+
+    def test_write_back_is_four_cycles(self, bus):
+        assert bus.cost_of(BusOp.WRITE_BACK) == 4
+
+    def test_dirty_remote_miss_totals_five(self, bus):
+        # Request (1) + snarfed write-back (4): same total as a memory access.
+        assert (
+            bus.cost_of(BusOp.FLUSH_REQUEST) + bus.cost_of(BusOp.WRITE_BACK) == 5
+        )
+
+    def test_single_cycle_operations(self, bus):
+        for op in (
+            BusOp.WRITE_THROUGH,
+            BusOp.WRITE_UPDATE,
+            BusOp.DIR_CHECK,
+            BusOp.INVALIDATE,
+            BusOp.BROADCAST_INVALIDATE,
+        ):
+            assert bus.cost_of(op) == 1
+
+    def test_overlapped_directory_check_is_free(self, bus):
+        assert bus.cost_of(BusOp.DIR_CHECK_OVERLAPPED) == 0
+
+
+class TestNonPipelinedBus:
+    """Section 4.3's non-pipelined-bus costs."""
+
+    @pytest.fixture(scope="class")
+    def bus(self):
+        return nonpipelined_bus()
+
+    def test_memory_access_is_seven_cycles(self, bus):
+        assert bus.cost_of(BusOp.MEM_ACCESS) == 7
+
+    def test_cache_access_is_six_cycles(self, bus):
+        assert bus.cost_of(BusOp.CACHE_SUPPLY) == 6
+        assert (
+            bus.cost_of(BusOp.FLUSH_REQUEST) + bus.cost_of(BusOp.WRITE_BACK) == 6
+        )
+
+    def test_write_through_is_two_cycles(self, bus):
+        assert bus.cost_of(BusOp.WRITE_THROUGH) == 2
+        assert bus.cost_of(BusOp.WRITE_UPDATE) == 2
+
+    def test_directory_check_is_three_cycles(self, bus):
+        assert bus.cost_of(BusOp.DIR_CHECK) == 3
+
+    def test_invalidate_is_one_cycle(self, bus):
+        assert bus.cost_of(BusOp.INVALIDATE) == 1
+
+    def test_overlapped_directory_check_is_free(self, bus):
+        assert bus.cost_of(BusOp.DIR_CHECK_OVERLAPPED) == 0
+
+
+class TestCostModelBehaviour:
+    def test_total_cycles_weights_counts(self):
+        bus = pipelined_bus()
+        total = bus.total_cycles({BusOp.MEM_ACCESS: 2, BusOp.INVALIDATE: 3})
+        assert total == 2 * 5 + 3 * 1
+
+    def test_with_broadcast_cost(self):
+        bus = pipelined_bus().with_broadcast_cost(8)
+        assert bus.cost_of(BusOp.BROADCAST_INVALIDATE) == 8
+        assert bus.cost_of(BusOp.INVALIDATE) == 1  # unchanged
+
+    def test_with_broadcast_cost_does_not_mutate_original(self):
+        original = pipelined_bus()
+        original.with_broadcast_cost(99)
+        assert original.cost_of(BusOp.BROADCAST_INVALIDATE) == 1
+
+    def test_every_op_has_a_cost_in_both_models(self):
+        for bus in standard_buses().values():
+            for op in BusOp:
+                assert bus.cost_of(op) >= 0
+
+    def test_every_op_has_a_table5_category(self):
+        assert set(TABLE5_CATEGORY) == set(BusOp)
+        assert set(TABLE5_CATEGORY.values()) <= set(Table5Category)
+
+    def test_table2_rows_match_paper(self):
+        pipe = pipelined_bus().table2_rows()
+        nonpipe = nonpipelined_bus().table2_rows()
+        assert pipe["Memory access"] == 5 and nonpipe["Memory access"] == 7
+        assert pipe["Cache access"] == 5 and nonpipe["Cache access"] == 6
+        assert pipe["Write-back"] == 4 and nonpipe["Write-back"] == 4
+        assert pipe["Directory check"] == 1 and nonpipe["Directory check"] == 3
+
+    def test_wider_blocks_cost_more(self):
+        wide = pipelined_bus(words_per_block=8)
+        assert wide.cost_of(BusOp.MEM_ACCESS) == 9
+        assert wide.cost_of(BusOp.WRITE_BACK) == 8

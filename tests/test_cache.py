@@ -1,0 +1,139 @@
+"""Unit tests for the infinite and finite cache models."""
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, FiniteCache, InfiniteCache
+from repro.memory.state import LineState
+
+
+class TestLineState:
+    def test_valid_predicate(self):
+        assert LineState.CLEAN.is_valid
+        assert LineState.DIRTY.is_valid
+        assert not LineState.INVALID.is_valid
+
+    def test_modified_predicate(self):
+        assert LineState.DIRTY.is_modified
+        assert LineState.SHARED_DIRTY.is_modified
+        assert not LineState.CLEAN.is_modified
+
+
+class TestInfiniteCache:
+    def test_insert_and_lookup(self):
+        cache = InfiniteCache()
+        cache.insert(7)
+        assert cache.contains(7)
+        assert 7 in cache
+        assert cache.state_of(7) is LineState.CLEAN
+
+    def test_insert_rejects_invalid_state(self):
+        with pytest.raises(ValueError):
+            InfiniteCache().insert(1, LineState.INVALID)
+
+    def test_set_state(self):
+        cache = InfiniteCache()
+        cache.insert(7)
+        cache.set_state(7, LineState.DIRTY)
+        assert cache.state_of(7) is LineState.DIRTY
+
+    def test_set_state_to_invalid_evicts(self):
+        cache = InfiniteCache()
+        cache.insert(7)
+        cache.set_state(7, LineState.INVALID)
+        assert not cache.contains(7)
+
+    def test_set_state_on_missing_block_raises(self):
+        with pytest.raises(KeyError):
+            InfiniteCache().set_state(7, LineState.DIRTY)
+
+    def test_invalidate_reports_residency(self):
+        cache = InfiniteCache()
+        cache.insert(7)
+        assert cache.invalidate(7) is True
+        assert cache.invalidate(7) is False
+
+    def test_never_evicts(self):
+        cache = InfiniteCache()
+        for block in range(10_000):
+            cache.insert(block)
+        assert len(cache) == 10_000
+
+
+class TestCacheGeometry:
+    def test_capacity(self):
+        geometry = CacheGeometry(n_sets=8, associativity=4)
+        assert geometry.capacity_blocks == 32
+
+    def test_set_mapping(self):
+        geometry = CacheGeometry(n_sets=8, associativity=1)
+        assert geometry.set_of(0) == 0
+        assert geometry.set_of(9) == 1
+        assert geometry.set_of(8) == 0
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(n_sets=6, associativity=1)
+
+    def test_rejects_nonpositive_associativity(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(n_sets=4, associativity=0)
+
+
+class TestFiniteCache:
+    def test_insert_within_capacity_never_evicts(self):
+        cache = FiniteCache(CacheGeometry(n_sets=2, associativity=2))
+        assert cache.insert(0) is None
+        assert cache.insert(1) is None
+        assert cache.insert(2) is None  # set 0 now holds 0 and 2
+        assert len(cache) == 3
+
+    def test_lru_victim_selection(self):
+        cache = FiniteCache(CacheGeometry(n_sets=1, associativity=2))
+        cache.insert(10)
+        cache.insert(20)
+        cache.touch(10)  # 20 becomes least recently used
+        victim = cache.insert(30)
+        assert victim == 20
+        assert cache.contains(10) and cache.contains(30)
+
+    def test_touch_miss_returns_false(self):
+        cache = FiniteCache(CacheGeometry(n_sets=1, associativity=2))
+        assert cache.touch(99) is False
+
+    def test_reinserting_resident_block_does_not_evict(self):
+        cache = FiniteCache(CacheGeometry(n_sets=1, associativity=2))
+        cache.insert(1)
+        cache.insert(2)
+        assert cache.insert(1) is None
+
+    def test_conflict_eviction_respects_sets(self):
+        cache = FiniteCache(CacheGeometry(n_sets=2, associativity=1))
+        cache.insert(0)  # set 0
+        cache.insert(1)  # set 1
+        victim = cache.insert(2)  # maps to set 0
+        assert victim == 0
+        assert cache.contains(1)
+
+    def test_state_tracking(self):
+        cache = FiniteCache(CacheGeometry(n_sets=1, associativity=2))
+        cache.insert(1, LineState.DIRTY)
+        assert cache.state_of(1) is LineState.DIRTY
+        cache.set_state(1, LineState.CLEAN)
+        assert cache.state_of(1) is LineState.CLEAN
+
+    def test_set_state_invalid_evicts(self):
+        cache = FiniteCache(CacheGeometry(n_sets=1, associativity=1))
+        cache.insert(1)
+        cache.set_state(1, LineState.INVALID)
+        assert not cache.contains(1)
+
+    def test_resident_blocks(self):
+        cache = FiniteCache(CacheGeometry(n_sets=2, associativity=2))
+        for block in (0, 1, 2):
+            cache.insert(block)
+        assert sorted(cache.resident_blocks()) == [0, 1, 2]
+
+    def test_insert_rejects_invalid_state(self):
+        cache = FiniteCache(CacheGeometry(n_sets=1, associativity=1))
+        with pytest.raises(ValueError):
+            cache.insert(0, LineState.INVALID)

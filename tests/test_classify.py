@@ -1,0 +1,121 @@
+"""Tests for the sharing-pattern classifier."""
+
+import pytest
+
+from conftest import record, trace_of
+from repro.trace.classify import (
+    BlockClass,
+    classify_blocks,
+    sharing_profile,
+)
+
+
+def _classify(trace):
+    profiles = classify_blocks(trace)
+    return {block: profile.classify() for block, profile in profiles.items()}
+
+
+class TestClassification:
+    def test_private_block(self):
+        classes = _classify(trace_of([(0, "r", 0), (0, "w", 0), (0, "r", 0)]))
+        assert classes[0] is BlockClass.PRIVATE
+
+    def test_read_only_shared(self):
+        classes = _classify(trace_of([(0, "r", 0), (1, "r", 0), (2, "r", 0)]))
+        assert classes[0] is BlockClass.READ_ONLY
+
+    def test_producer_consumer(self):
+        classes = _classify(
+            trace_of([(0, "w", 0), (1, "r", 0), (2, "r", 0), (0, "w", 0)])
+        )
+        assert classes[0] is BlockClass.PRODUCER_CONSUMER
+
+    def test_migratory(self):
+        # Each writer reads the block just before writing: RMW hand-offs.
+        steps = []
+        for pid in (0, 1, 2, 0, 1):
+            steps += [(pid, "r", 0), (pid, "w", 0)]
+        classes = _classify(trace_of(steps))
+        assert classes[0] is BlockClass.MIGRATORY
+
+    def test_synchronization(self):
+        trace = [
+            record(0, kind="r", address=0, spin=True),
+            record(1, kind="r", address=0, spin=True),
+            record(0, kind="r", address=0, spin=True),
+            record(0, kind="w", address=0),
+            record(1, kind="r", address=0, spin=True),
+            record(1, kind="w", address=0),
+        ]
+        classes = _classify(trace)
+        assert classes[0] is BlockClass.SYNCHRONIZATION
+
+    def test_general_read_write(self):
+        # Two writers blind-writing with interleaved reads by others: not
+        # chained, not single-writer.
+        classes = _classify(
+            trace_of([(0, "w", 0), (1, "w", 0), (2, "r", 0), (0, "w", 0), (1, "w", 0)])
+        )
+        assert classes[0] is BlockClass.READ_WRITE
+
+    def test_instructions_ignored(self):
+        profiles = classify_blocks(trace_of([(0, "i", 0), (0, "r", 16)]))
+        assert len(profiles) == 1
+
+    def test_block_size_respected(self):
+        profiles = classify_blocks(
+            trace_of([(0, "r", 0), (1, "r", 8)]), block_size=16
+        )
+        assert len(profiles) == 1  # both addresses fall in block 0
+
+
+class TestSharingProfile:
+    def test_shares_sum_to_one(self):
+        trace = trace_of(
+            [(0, "r", 0), (0, "w", 0)]
+            + [(0, "r", 16), (1, "r", 16)]
+            + [(0, "w", 32), (1, "r", 32)]
+        )
+        profile = sharing_profile(classify_blocks(trace))
+        assert sum(
+            profile.block_share(c) for c in BlockClass
+        ) == pytest.approx(1.0)
+        assert sum(
+            profile.access_share(c) for c in BlockClass
+        ) == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        profile = sharing_profile(classify_blocks([]))
+        assert profile.total_blocks == 0
+        assert profile.block_share(BlockClass.PRIVATE) == 0.0
+
+    def test_render(self):
+        trace = trace_of([(0, "r", 0), (1, "r", 0)])
+        text = sharing_profile(classify_blocks(trace)).render()
+        assert "read-only" in text
+
+
+class TestOnCalibratedTraces:
+    def test_pops_composition_matches_its_construction(self):
+        """The classifier should recover the generator's own structure."""
+        from repro.trace import standard_trace, take
+
+        trace = list(take(standard_trace("POPS", scale=1 / 64), 40000))
+        profiles = classify_blocks(trace)
+        profile = sharing_profile(profiles)
+        # Private blocks dominate by count.
+        assert profile.block_share(BlockClass.PRIVATE) > 0.4
+        # The contended lock is found.
+        assert profile.block_counts.get(BlockClass.SYNCHRONIZATION, 0) >= 1
+        # Spin reads concentrate synchronisation accesses.
+        assert profile.access_share(BlockClass.SYNCHRONIZATION) > 0.05
+
+    def test_pero_has_less_synchronization_than_pops(self):
+        from repro.trace import standard_trace, take
+
+        def sync_share(name):
+            trace = take(standard_trace(name, scale=1 / 64), 40000)
+            profile = sharing_profile(classify_blocks(trace))
+            return profile.access_share(BlockClass.SYNCHRONIZATION)
+
+        assert sync_share("PERO") < sync_share("POPS")

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: Run everything on minuscule traces so the CLI tests stay fast.
+FAST = ["--scale", "512"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--schemes", "nonesuch"])
+
+    def test_scale_parsed(self):
+        args = build_parser().parse_args(["--scale", "32", "table4"])
+        assert args.scale == 32.0
+
+
+class TestCommands:
+    def test_compare(self, capsys):
+        assert main(FAST + ["compare", "--schemes", "dir0b", "dragon"]) == 0
+        out = capsys.readouterr().out
+        assert "dir0b" in out and "pipelined" in out
+
+    def test_table4(self, capsys):
+        assert main(FAST + ["table4"]) == 0
+        assert "rm-blk-cln" in capsys.readouterr().out
+
+    def test_table5(self, capsys):
+        assert main(FAST + ["table5"]) == 0
+        assert "cumulative" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(FAST + ["figure1"]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_spinlock(self, capsys):
+        assert main(FAST + ["spinlock"]) == 0
+        assert "Dir1NB" in capsys.readouterr().out
+
+    def test_trace_stats(self, capsys):
+        assert main(FAST + ["trace-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "POPS" in out and "THOR" in out and "PERO" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage", "--caches", "4", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Dir0B" in out
+
+    def test_export_trace_text(self, tmp_path, capsys):
+        path = tmp_path / "pops.txt"
+        assert main(FAST + ["export-trace", "POPS", str(path)]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_export_trace_binary_round_trips(self, tmp_path):
+        from repro.trace.atum import read_binary
+
+        path = tmp_path / "pero.bin"
+        main(FAST + ["export-trace", "PERO", str(path), "--format", "binary"])
+        records = list(read_binary(path))
+        assert len(records) > 1000
+
+    def test_classify(self, capsys):
+        assert main(FAST + ["classify", "POPS"]) == 0
+        out = capsys.readouterr().out
+        assert "private" in out and "synchronization" in out
+
+    def test_validate(self, capsys):
+        assert main(FAST + ["validate", "dir0b"]) == 0
+        assert "coherent" in capsys.readouterr().out
+
+    def test_modelcheck_ok(self, capsys):
+        assert main(["modelcheck", "dragon", "--depth", "4"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_timed(self, capsys):
+        assert main(FAST + ["timed", "dir0b", "--q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bus util" in out
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "-1", "table4"])

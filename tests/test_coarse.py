@@ -1,0 +1,111 @@
+"""Unit tests for the Section 6 digit-code (coarse) directory."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.directory.coarse import DigitCode, DirCoarse
+from repro.protocols.directory.dirnnb import DirnNB
+from repro.trace.record import AccessType
+
+
+class TestDigitCode:
+    def test_exact_code_denotes_one_cache(self):
+        code = DigitCode.exact(5, width=3)
+        assert code.denoted_count == 1
+        assert code.denoted_caches() == (5,)
+        assert code.contains(5)
+        assert not code.contains(4)
+
+    def test_merge_introduces_both_digits(self):
+        code = DigitCode.exact(0b00, width=2).merged_with(0b01)
+        assert code.denoted_count == 2
+        assert code.denoted_caches() == (0, 1)
+
+    def test_merge_is_a_superset(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            members = [rng.randrange(8) for _ in range(rng.randint(1, 5))]
+            code = DigitCode.exact(members[0], width=3)
+            for cache in members[1:]:
+                code = code.merged_with(cache)
+            for cache in members:
+                assert code.contains(cache)
+
+    def test_worst_case_merge_denotes_everything(self):
+        code = DigitCode.exact(0b000, width=3).merged_with(0b111)
+        assert code.denoted_count == 8
+
+    def test_two_log_n_bits(self):
+        # d digits of 2 bits each: 2*log2(n) bits total.
+        assert DirCoarse.directory_bits_per_block(16) == 2 * 4 + 1
+
+    def test_exact_rejects_out_of_range_cache(self):
+        with pytest.raises(ValueError):
+            DigitCode.exact(8, width=3)
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            DigitCode((0, 3))
+
+    def test_equality_and_hash(self):
+        a = DigitCode.exact(2, width=3)
+        b = DigitCode.exact(2, width=3)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestDirCoarse:
+    def test_single_sharer_invalidation_is_exact(self):
+        proto = DirCoarse(4)
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.op_count(BusOp.INVALIDATE) == 1
+        assert proto.wasted_invalidations == 0
+
+    def test_superset_may_waste_messages(self):
+        proto = DirCoarse(4)
+        # Sharers 0 and 3 (binary 00 and 11) force the code to 'both both',
+        # denoting all four caches; invalidating from cache 0 sends messages
+        # to 1, 2 and 3 even though only 3 holds a copy.
+        outcomes = run_ops(proto, [(0, "r", 5), (3, "r", 5), (0, "w", 5)])
+        hit = outcomes[2]
+        assert hit.invalidation_fanout == 1
+        assert hit.op_count(BusOp.INVALIDATE) == 3
+        assert proto.wasted_invalidations == 2
+
+    def test_adjacent_sharers_stay_tight(self):
+        proto = DirCoarse(4)
+        # Sharers 0 and 1 differ only in the low digit: code denotes {0, 1}.
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        assert outcomes[2].op_count(BusOp.INVALIDATE) == 1
+
+    def test_write_resets_code_to_exact(self):
+        proto = DirCoarse(4)
+        run_ops(proto, [(0, "r", 5), (3, "r", 5), (0, "w", 5)])
+        outcomes = run_ops(proto, [(0, "w", 5)])  # still exclusive
+        assert outcomes[0].ops == ()
+
+    def test_events_match_full_map(self):
+        rng = random.Random(111)
+        a, b = DirCoarse(4), DirnNB(4)
+        for _ in range(4000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(25)
+            assert a.access(cache, access, block).event is b.access(
+                cache, access, block
+            ).event
+
+    def test_invalidations_never_fewer_than_full_map(self):
+        rng = random.Random(113)
+        a, b = DirCoarse(4), DirnNB(4)
+        total_a = total_b = 0
+        for _ in range(5000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(25)
+            total_a += a.access(cache, access, block).op_count(BusOp.INVALIDATE)
+            total_b += b.access(cache, access, block).op_count(BusOp.INVALIDATE)
+        assert total_a >= total_b

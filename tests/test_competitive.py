@@ -1,0 +1,132 @@
+"""Tests for the competitive update/invalidate hybrid (EDWP)."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp, pipelined_bus
+from repro.protocols.snoopy.competitive import CompetitiveUpdate
+from repro.protocols.snoopy.dragon import Dragon
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+class TestSelfInvalidation:
+    def test_copy_survives_below_the_limit(self):
+        proto = CompetitiveUpdate(4, limit=3)
+        run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5), (0, "w", 5)])
+        assert proto.sharing.is_held(5, 1)  # two updates < limit 3
+
+    def test_copy_drops_at_the_limit(self):
+        proto = CompetitiveUpdate(4, limit=3)
+        run_ops(
+            proto,
+            [(0, "r", 5), (1, "r", 5), (0, "w", 5), (0, "w", 5), (0, "w", 5)],
+        )
+        assert not proto.sharing.is_held(5, 1)
+        assert proto.self_invalidations == 1
+
+    def test_local_access_resets_the_counter(self):
+        proto = CompetitiveUpdate(4, limit=2)
+        run_ops(
+            proto,
+            [
+                (0, "r", 5),
+                (1, "r", 5),
+                (0, "w", 5),
+                (1, "r", 5),  # reader is still interested: counter resets
+                (0, "w", 5),
+                (1, "r", 5),
+                (0, "w", 5),
+            ],
+        )
+        assert proto.sharing.is_held(5, 1)
+        assert proto.self_invalidations == 0
+
+    def test_updates_stop_after_everyone_drops(self):
+        proto = CompetitiveUpdate(4, limit=1)
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5), (0, "w", 5)]
+        )
+        # First write updates (and drops) cache 1; second write is local.
+        assert outcomes[2].event is Event.WH_DISTRIB
+        assert outcomes[3].event is Event.WH_LOCAL
+        assert outcomes[3].ops == ()
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            CompetitiveUpdate(4, limit=0)
+
+    def test_owner_never_self_invalidates(self):
+        proto = CompetitiveUpdate(4, limit=1)
+        rng = random.Random(3)
+        for _ in range(2000):
+            block = rng.randrange(10)
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                block,
+            )
+            owner = proto.sharing.dirty_owner(block)
+            if owner != -1:
+                assert proto.sharing.is_held(block, owner)
+
+
+class TestCompetitivePosition:
+    def _migratory_ops(self, rounds=20, run=20):
+        """Migratory hand-offs with long write runs: after a hand-off the
+        previous owner never looks again until its own next turn, so every
+        update sent to it beyond the first couple is pure waste."""
+        ops = []
+        for i in range(rounds):
+            pid = i % 2
+            ops.append((pid, "r", 7))
+            ops += [(pid, "w", 7)] * run
+        return ops
+
+    def _active_sharing_ops(self, rounds=50):
+        """One writer, three readers re-reading every round: updates win."""
+        ops = []
+        for _ in range(rounds):
+            ops.append((0, "w", 7))
+            ops += [(reader, "r", 7) for reader in (1, 2, 3)]
+        return ops
+
+    def _cost(self, proto, ops):
+        bus = pipelined_bus()
+        return sum(
+            sum(bus.cost_of(k) * n for k, n in outcome.ops)
+            for outcome in run_ops(proto, ops)
+        )
+
+    def test_beats_dragon_on_migratory_data(self):
+        ops = self._migratory_ops()
+        competitive = self._cost(CompetitiveUpdate(4, limit=2), ops)
+        dragon = self._cost(Dragon(4), ops)
+        assert competitive < dragon
+
+    def test_matches_dragon_on_actively_shared_data(self):
+        ops = self._active_sharing_ops()
+        competitive = self._cost(CompetitiveUpdate(4, limit=4), ops)
+        dragon = self._cost(Dragon(4), ops)
+        # Readers touch the block every round, so nothing self-invalidates.
+        assert competitive == dragon
+
+    def test_infinite_limit_degenerates_to_dragon(self):
+        rng = random.Random(17)
+        ops = [
+            (
+                rng.randrange(4),
+                rng.choice("rw"),
+                rng.randrange(12),
+            )
+            for _ in range(3000)
+        ]
+        competitive = CompetitiveUpdate(4, limit=10**9)
+        dragon = Dragon(4)
+        for op in ops:
+            a = run_ops(competitive, [op])[0]
+            b = run_ops(dragon, [op])[0]
+            assert a.event is b.event
+            assert a.ops == b.ops

@@ -1,0 +1,87 @@
+"""Unit tests for the bus-contention queueing model."""
+
+import pytest
+
+from repro.analysis.contention import (
+    BusContentionModel,
+    knee_processors,
+    speedup_curve,
+)
+
+
+def model(cycles=0.05, **kwargs):
+    return BusContentionModel(cycles_per_reference=cycles, **kwargs)
+
+
+class TestDemand:
+    def test_demand_fraction(self):
+        # 10 MIPS x 2 refs/instr x 0.05 cyc/ref = 1M cycles/s of a 10M-cycle bus.
+        assert model().demand_fraction == pytest.approx(0.1)
+
+    def test_utilization_scales_linearly_until_saturation(self):
+        m = model()
+        assert m.utilization(4) == pytest.approx(0.4)
+        assert m.utilization(100) == 1.0  # clamped
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            model(cycles=0)
+        with pytest.raises(ValueError):
+            model(processor_mips=0)
+        with pytest.raises(ValueError):
+            model().utilization(-1)
+        with pytest.raises(ValueError):
+            model().effective_speed(0)
+
+
+class TestEffectiveSpeed:
+    def test_single_processor_is_nearly_full_speed(self):
+        assert model().effective_speed(1) > 0.95
+
+    def test_speed_decreases_with_processors(self):
+        m = model()
+        speeds = [m.effective_speed(n) for n in (1, 4, 16, 64)]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_fixed_point_is_self_consistent(self):
+        m = model()
+        for n in (1, 4, 10, 40):
+            s = m.effective_speed(n)
+            u = n * s * m.demand_fraction
+            assert u < 1.0
+            assert s == pytest.approx(
+                1.0 / (1.0 - m.demand_fraction + m.demand_fraction / (1.0 - u)),
+                rel=1e-9,
+            )
+
+    def test_zero_demand_runs_full_speed(self):
+        # cycles can't be zero, but a tiny value behaves like no contention.
+        m = model(cycles=1e-9)
+        assert m.effective_speed(1000) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestSpeedupCurve:
+    def test_saturates_at_inverse_demand(self):
+        m = model()  # demand 0.1 -> asymptote 10
+        curve = speedup_curve(m, (1, 8, 64, 512))
+        assert curve[512] < 10.0
+        assert curve[512] > 9.5
+
+    def test_monotone_nondecreasing(self):
+        curve = speedup_curve(model(), (1, 2, 4, 8, 16, 32))
+        values = list(curve.values())
+        assert values == sorted(values)
+
+    def test_knee_near_inverse_demand(self):
+        # The marginal-speedup knee sits near the saturation point.
+        assert 6 <= knee_processors(model()) <= 14
+
+    def test_knee_with_paper_traffic_matches_paper_estimate(self):
+        # Dragon-level traffic (0.03-0.036 cyc/ref): the paper estimates
+        # ~15 effective processors; the queueing knee agrees.
+        knee = knee_processors(model(cycles=0.03))
+        assert 10 <= knee <= 20
+
+    def test_knee_threshold_validated(self):
+        with pytest.raises(ValueError):
+            knee_processors(model(), marginal_threshold=0)

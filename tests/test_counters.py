@@ -1,0 +1,96 @@
+"""Unit tests for event counting and Table 4 frequency views."""
+
+import pytest
+
+from repro.core.counters import EventFrequencies, SimulationCounters
+from repro.interconnect.bus import BusOp
+from repro.protocols.base import AccessOutcome
+from repro.protocols.events import Event
+
+
+def _outcome(event, ops=(), fanout=None):
+    return AccessOutcome(event=event, ops=tuple(ops), invalidation_fanout=fanout)
+
+
+class TestSimulationCounters:
+    def test_records_events(self):
+        counters = SimulationCounters()
+        counters.record(_outcome(Event.READ_HIT))
+        counters.record(_outcome(Event.READ_HIT))
+        counters.record(_outcome(Event.INSTR))
+        assert counters.event_count(Event.READ_HIT) == 2
+        assert counters.references == 3
+
+    def test_records_bus_ops_and_transactions(self):
+        counters = SimulationCounters()
+        counters.record(
+            _outcome(Event.RM_BLK_CLEAN, ops=[(BusOp.MEM_ACCESS, 1)])
+        )
+        counters.record(_outcome(Event.READ_HIT))
+        assert counters.ops.ops[BusOp.MEM_ACCESS] == 1
+        assert counters.ops.transactions == 1
+        assert counters.ops.references == 2
+
+    def test_overlapped_dir_check_is_not_a_transaction(self):
+        counters = SimulationCounters()
+        counters.record(
+            _outcome(Event.READ_HIT, ops=[(BusOp.DIR_CHECK_OVERLAPPED, 1)])
+        )
+        assert counters.ops.transactions == 0
+
+    def test_records_fanout(self):
+        counters = SimulationCounters()
+        counters.record(_outcome(Event.WH_BLK_CLEAN, fanout=2))
+        counters.record(_outcome(Event.WH_BLK_CLEAN, fanout=0))
+        assert counters.fanout.total == 2
+        assert counters.fanout.count(2) == 1
+
+
+class TestEventFrequencies:
+    def _frequencies(self):
+        counters = SimulationCounters()
+        for _ in range(50):
+            counters.record(_outcome(Event.INSTR))
+        for _ in range(30):
+            counters.record(_outcome(Event.READ_HIT))
+        for _ in range(5):
+            counters.record(_outcome(Event.RM_BLK_CLEAN))
+        for _ in range(2):
+            counters.record(_outcome(Event.RM_FIRST_REF))
+        for _ in range(10):
+            counters.record(_outcome(Event.WH_BLK_DIRTY))
+        for _ in range(3):
+            counters.record(_outcome(Event.WM_BLK_DIRTY))
+        return counters.frequencies()
+
+    def test_percent(self):
+        freq = self._frequencies()
+        assert freq.percent(Event.INSTR) == 50.0
+        assert freq.percent(Event.RM_BLK_CLEAN) == 5.0
+
+    def test_aggregates(self):
+        freq = self._frequencies()
+        assert freq.read_misses == 5.0
+        assert freq.reads == 30.0 + 5.0 + 2.0
+        assert freq.write_hits == 10.0
+        assert freq.write_misses == 3.0
+        assert freq.writes == 13.0
+
+    def test_miss_rates(self):
+        freq = self._frequencies()
+        assert freq.data_miss_rate == 8.0
+        assert freq.data_miss_rate_with_first_refs == 10.0
+
+    def test_rows_sum_consistently(self):
+        freq = self._frequencies()
+        rows = freq.as_dict()
+        assert rows["instr"] + rows["read"] + rows["write"] == pytest.approx(
+            100.0
+        )
+        assert rows["rd-hit"] + rows["rd-miss(rm)"] + rows[
+            "rm-first-ref"
+        ] == pytest.approx(rows["read"])
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationCounters().frequencies()

@@ -1,0 +1,132 @@
+"""Unit tests for Dir0B (Archibald & Baer two-bit broadcast directory)."""
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.directory.dir0b import Dir0B
+from repro.protocols.events import Event
+
+
+@pytest.fixture
+def proto():
+    return Dir0B(4)
+
+
+class TestReads:
+    def test_multiple_clean_copies_allowed(self, proto):
+        run_ops(proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5)])
+        assert proto.sharing.holder_count(5) == 3
+
+    def test_read_miss_clean_comes_from_memory(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_CLEAN
+        assert dict(miss.ops) == {
+            BusOp.MEM_ACCESS: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+        }
+        assert proto.sharing.is_held(5, 1)  # remote copy survives
+
+    def test_read_miss_dirty_flushes_and_both_end_clean(self, proto):
+        outcomes = run_ops(proto, [(1, "w", 5), (0, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_DIRTY
+        assert dict(miss.ops) == {
+            BusOp.FLUSH_REQUEST: 1,
+            BusOp.WRITE_BACK: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+        }
+        assert not proto.sharing.is_dirty(5)
+        assert proto.sharing.holder_count(5) == 2
+
+
+class TestWriteHits:
+    def test_dirty_write_hit_is_free(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (0, "w", 5)])
+        assert outcomes[1].event is Event.WH_BLK_DIRTY
+        assert outcomes[1].ops == ()
+
+    def test_clean_write_hit_sole_copy_checks_directory_only(self, proto):
+        # "Block clean in exactly one cache" obviates the broadcast.
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        hit = outcomes[1]
+        assert hit.event is Event.WH_BLK_CLEAN
+        assert dict(hit.ops) == {BusOp.DIR_CHECK: 1}
+        assert hit.invalidation_fanout == 0
+
+    def test_clean_write_hit_shared_broadcasts(self, proto):
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5), (0, "w", 5)]
+        )
+        hit = outcomes[3]
+        assert hit.event is Event.WH_BLK_CLEAN
+        assert dict(hit.ops) == {
+            BusOp.DIR_CHECK: 1,
+            BusOp.BROADCAST_INVALIDATE: 1,
+        }
+        assert hit.invalidation_fanout == 2
+        assert proto.sharing.holders(5) == 0b0001
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_directory_check_is_standalone_not_overlapped(self, proto):
+        # A write hit performs no memory access, so the check costs a cycle.
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        assert (BusOp.DIR_CHECK, 1) in outcomes[1].ops
+
+
+class TestWriteMisses:
+    def test_write_miss_clean_remote(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (2, "r", 5), (0, "w", 5)])
+        miss = outcomes[2]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert dict(miss.ops) == {
+            BusOp.MEM_ACCESS: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+            BusOp.BROADCAST_INVALIDATE: 1,
+        }
+        assert miss.invalidation_fanout == 2
+        assert proto.sharing.is_dirty_in(5, 0)
+        assert proto.sharing.holder_count(5) == 1
+
+    def test_write_miss_dirty_remote_snarfs_writeback(self, proto):
+        outcomes = run_ops(proto, [(1, "w", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_DIRTY
+        assert dict(miss.ops) == {
+            BusOp.FLUSH_REQUEST: 1,
+            BusOp.WRITE_BACK: 1,
+            BusOp.INVALIDATE: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+        }
+        assert miss.invalidation_fanout is None  # not a write-to-clean event
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_first_write_installs_dirty_for_free(self, proto):
+        (outcome,) = run_ops(proto, [(0, "w", 5)])
+        assert outcome.event is Event.WM_FIRST_REF
+        assert outcome.ops == ()
+        assert proto.sharing.is_dirty_in(5, 0)
+
+
+class TestInvariants:
+    def test_single_writer(self, proto):
+        import random
+
+        from repro.trace.record import AccessType
+
+        rng = random.Random(5)
+        for _ in range(3000):
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(30),
+            )
+        proto.sharing.check_invariants()
+        for block in range(30):
+            if proto.sharing.is_dirty(block):
+                assert proto.sharing.holder_count(block) == 1
+
+    def test_directory_bits_constant(self):
+        assert Dir0B.directory_bits_per_block(4) == 2
+        assert Dir0B.directory_bits_per_block(1024) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for Dir1NB (single pointer, no broadcast)."""
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.directory.dir1nb import Dir1NB
+from repro.protocols.events import Event
+
+
+@pytest.fixture
+def proto():
+    return Dir1NB(4)
+
+
+class TestReads:
+    def test_first_reference_is_free(self, proto):
+        (outcome,) = run_ops(proto, [(0, "r", 5)])
+        assert outcome.event is Event.RM_FIRST_REF
+        assert outcome.ops == ()
+
+    def test_read_hit(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "r", 5)])
+        assert outcomes[1].event is Event.READ_HIT
+        assert outcomes[1].ops == ()
+
+    def test_read_miss_to_clean_remote_moves_the_copy(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_CLEAN
+        assert dict(miss.ops) == {
+            BusOp.MEM_ACCESS: 1,
+            BusOp.INVALIDATE: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+        }
+        assert proto.sharing.holders(5) == 0b0001  # only cache 0 now
+        assert not proto.sharing.is_held(5, 1)
+
+    def test_read_miss_to_dirty_remote_flushes(self, proto):
+        outcomes = run_ops(proto, [(1, "w", 5), (0, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_DIRTY
+        assert dict(miss.ops) == {
+            BusOp.FLUSH_REQUEST: 1,
+            BusOp.WRITE_BACK: 1,
+            BusOp.INVALIDATE: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+        }
+        assert not proto.sharing.is_dirty(5)  # written back; new copy clean
+
+    def test_dirty_remote_miss_costs_same_as_clean_on_pipelined_bus(self, proto):
+        # 1 (request) + 4 (write-back) + 1 (invalidate) == 5 + 1.
+        from repro.interconnect.bus import pipelined_bus
+
+        bus = pipelined_bus()
+        clean = run_ops(Dir1NB(4), [(1, "r", 5), (0, "r", 5)])[1]
+        dirty = run_ops(Dir1NB(4), [(1, "w", 5), (0, "r", 5)])[1]
+        cost = lambda o: sum(bus.cost_of(op) * n for op, n in o.ops)  # noqa: E731
+        assert cost(clean) == cost(dirty) == 6
+
+
+class TestWrites:
+    def test_write_hit_is_local_even_when_clean(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        hit = outcomes[1]
+        assert hit.event is Event.WRITE_HIT
+        assert hit.ops == ()
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_first_write_is_free_and_dirty(self, proto):
+        (outcome,) = run_ops(proto, [(0, "w", 5)])
+        assert outcome.event is Event.WM_FIRST_REF
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_write_miss_to_clean_remote(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert dict(miss.ops) == {
+            BusOp.MEM_ACCESS: 1,
+            BusOp.INVALIDATE: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+        }
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_write_miss_to_dirty_remote(self, proto):
+        outcomes = run_ops(proto, [(1, "w", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_DIRTY
+        assert dict(miss.ops) == {
+            BusOp.FLUSH_REQUEST: 1,
+            BusOp.WRITE_BACK: 1,
+            BusOp.INVALIDATE: 1,
+            BusOp.DIR_CHECK_OVERLAPPED: 1,
+        }
+
+
+class TestSingleCopyInvariant:
+    def test_at_most_one_holder_always(self, proto):
+        import random
+
+        from repro.trace.record import AccessType
+
+        rng = random.Random(3)
+        for _ in range(2000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(20)
+            proto.access(cache, access, block)
+            assert proto.sharing.holder_count(block) <= 1
+        proto.sharing.check_invariants()
+
+    def test_lock_ping_pong_misses_every_alternation(self, proto):
+        # Two caches alternately reading one block: every read misses.
+        ops = [(i % 2, "r", 9) for i in range(10)]
+        outcomes = run_ops(proto, ops)
+        assert outcomes[0].event is Event.RM_FIRST_REF
+        assert all(o.event is Event.RM_BLK_CLEAN for o in outcomes[1:])
+
+
+class TestIntrospection:
+    def test_directory_bits(self):
+        assert Dir1NB.directory_bits_per_block(4) == 3  # 2-bit pointer + valid
+        assert Dir1NB.directory_bits_per_block(1024) == 11
+
+    def test_instruction_fetches_are_free(self, proto):
+        from repro.trace.record import AccessType
+
+        outcome = proto.access(0, AccessType.INSTR, 5)
+        assert outcome.event is Event.INSTR
+        assert outcome.ops == ()
+        assert proto.sharing.holders(5) == 0
+
+    def test_cache_index_bounds_checked(self, proto):
+        from repro.trace.record import AccessType
+
+        with pytest.raises(ValueError, match="out of range"):
+            proto.access(4, AccessType.READ, 5)

@@ -1,0 +1,141 @@
+"""Unit tests for DiriB (i pointers plus a broadcast bit)."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.directory.dir0b import Dir0B
+from repro.protocols.directory.dirib import Dir1B, DiriB
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+class TestInvalidationDispatch:
+    def test_fanout_within_pointer_budget_is_directed(self):
+        proto = DiriB(4, pointers=2)
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        hit = outcomes[2]
+        assert hit.op_count(BusOp.INVALIDATE) == 1
+        assert hit.op_count(BusOp.BROADCAST_INVALIDATE) == 0
+        assert proto.directed_invalidations == 1
+
+    def test_fanout_beyond_pointers_broadcasts(self):
+        proto = DiriB(4, pointers=1)
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5), (0, "w", 5)]
+        )
+        hit = outcomes[3]
+        assert hit.event is Event.WH_BLK_CLEAN
+        assert hit.op_count(BusOp.BROADCAST_INVALIDATE) == 1
+        assert hit.op_count(BusOp.INVALIDATE) == 0
+        assert hit.invalidation_fanout == 2
+        assert proto.broadcasts == 1
+
+    def test_fanout_exactly_i_is_directed(self):
+        proto = DiriB(4, pointers=2)
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5), (0, "w", 5)]
+        )
+        hit = outcomes[3]
+        assert hit.op_count(BusOp.INVALIDATE) == 2
+        assert hit.op_count(BusOp.BROADCAST_INVALIDATE) == 0
+
+    def test_dirty_flush_is_always_directed(self):
+        # A dirty block has exactly one copy: the owner pointer suffices.
+        proto = DiriB(4, pointers=1)
+        outcomes = run_ops(proto, [(1, "w", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_DIRTY
+        assert miss.op_count(BusOp.INVALIDATE) == 1
+        assert miss.op_count(BusOp.BROADCAST_INVALIDATE) == 0
+
+    def test_rejects_zero_pointers(self):
+        with pytest.raises(ValueError):
+            DiriB(4, pointers=0)
+
+
+class TestDir1B:
+    def test_is_one_pointer_dirib(self):
+        proto = Dir1B(4)
+        assert proto.pointers == 1
+
+    def test_single_remote_copy_is_a_directed_invalidate(self):
+        # The paper's model: "a single invalidation request is issued if the
+        # broadcast bit is clear" — one remote copy fits the pointer.
+        proto = Dir1B(4)
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        hit = outcomes[2]
+        assert hit.op_count(BusOp.INVALIDATE) == 1
+        assert hit.op_count(BusOp.BROADCAST_INVALIDATE) == 0
+
+    def test_two_remote_copies_broadcast(self):
+        proto = Dir1B(4)
+        outcomes = run_ops(
+            proto, [(1, "r", 5), (2, "r", 5), (0, "w", 5)]
+        )
+        miss = outcomes[2]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert miss.op_count(BusOp.BROADCAST_INVALIDATE) == 1
+
+    def test_storage_bits(self):
+        assert Dir1B.directory_bits_per_block(4) == 4  # 2-bit ptr + bcast + dirty
+        assert DiriB.directory_bits_per_block(256, pointers=4) == 34
+
+
+class TestEventEquivalenceWithDir0B:
+    """DiriB never restricts copies, so events match Dir0B exactly."""
+
+    @pytest.mark.parametrize("pointers", [1, 2, 4])
+    def test_events_match(self, pointers):
+        rng = random.Random(31)
+        a, b = DiriB(4, pointers=pointers), Dir0B(4)
+        for _ in range(4000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(30)
+            assert a.access(cache, access, block).event is b.access(
+                cache, access, block
+            ).event
+
+    def test_more_pointers_mean_fewer_broadcasts(self):
+        rng = random.Random(33)
+        ops = [
+            (
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(30),
+            )
+            for _ in range(6000)
+        ]
+
+        def broadcasts(pointers):
+            proto = DiriB(4, pointers=pointers)
+            for op in ops:
+                proto.access(*op)
+            return proto.broadcasts
+
+        assert broadcasts(1) >= broadcasts(2) >= broadcasts(3)
+        assert broadcasts(3) == 0  # 3 pointers cover any remote set of 4 caches
+
+    def test_dir3b_matches_dirnnb_cost_on_four_caches(self):
+        """With i = n-1 pointers every invalidation is directed, so DiriB
+        collapses to the full map's behaviour."""
+        from repro.interconnect.bus import pipelined_bus
+        from repro.protocols.directory.dirnnb import DirnNB
+
+        rng = random.Random(35)
+        bus = pipelined_bus()
+        a, b = DiriB(4, pointers=3), DirnNB(4)
+        cost_a = cost_b = 0.0
+        for _ in range(5000):
+            op = (
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(25),
+            )
+            out_a, out_b = a.access(*op), b.access(*op)
+            cost_a += sum(bus.cost_of(k) * n for k, n in out_a.ops)
+            cost_b += sum(bus.cost_of(k) * n for k, n in out_b.ops)
+        assert cost_a == cost_b

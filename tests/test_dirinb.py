@@ -1,0 +1,123 @@
+"""Unit tests for DiriNB (i pointers, displacement instead of broadcast)."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp, pipelined_bus
+from repro.protocols.directory.dir1nb import Dir1NB
+from repro.protocols.directory.dirinb import EVICTION_POLICIES, DiriNB
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+class TestCopyCap:
+    def test_never_more_than_i_copies(self):
+        proto = DiriNB(4, pointers=2)
+        rng = random.Random(17)
+        for _ in range(4000):
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(25),
+            )
+            for block in range(25):
+                assert proto.sharing.holder_count(block) <= 2
+
+    def test_displacement_costs_one_invalidate(self):
+        proto = DiriNB(4, pointers=2, eviction="fifo")
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5)])
+        third = outcomes[2]
+        assert third.event is Event.RM_BLK_CLEAN
+        assert third.op_count(BusOp.INVALIDATE) == 1
+        assert proto.displacements == 1
+
+    def test_fifo_displaces_oldest_sharer(self):
+        proto = DiriNB(4, pointers=2, eviction="fifo")
+        run_ops(proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5)])
+        assert not proto.sharing.is_held(5, 0)
+        assert proto.sharing.is_held(5, 1)
+        assert proto.sharing.is_held(5, 2)
+
+    def test_lifo_displaces_newest_sharer(self):
+        proto = DiriNB(4, pointers=2, eviction="lifo")
+        run_ops(proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5)])
+        assert proto.sharing.is_held(5, 0)
+        assert not proto.sharing.is_held(5, 1)
+        assert proto.sharing.is_held(5, 2)
+
+    def test_random_policy_is_deterministic_for_seed(self):
+        ops = [(c, "r", 5) for c in (0, 1, 2, 3, 0, 1)]
+        a = DiriNB(4, pointers=2, eviction="random", seed=5)
+        b = DiriNB(4, pointers=2, eviction="random", seed=5)
+        run_ops(a, ops)
+        run_ops(b, ops)
+        assert a.sharing.holders(5) == b.sharing.holders(5)
+
+    def test_rejects_unknown_eviction_policy(self):
+        with pytest.raises(ValueError, match="eviction"):
+            DiriNB(4, pointers=2, eviction="clairvoyant")
+
+    def test_policies_registry(self):
+        assert set(EVICTION_POLICIES) == {"fifo", "lifo", "random"}
+
+
+class TestDegenerationToDir1NB:
+    """DiriNB with one pointer must behave exactly like Dir1NB."""
+
+    def _random_ops(self, seed, n=5000):
+        rng = random.Random(seed)
+        return [
+            (
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(30),
+            )
+            for _ in range(n)
+        ]
+
+    def test_same_bus_cycles_as_dir1nb(self):
+        bus = pipelined_bus()
+        a, b = DiriNB(4, pointers=1), Dir1NB(4)
+        total_a = total_b = 0.0
+        for op in self._random_ops(41):
+            out_a, out_b = a.access(*op), b.access(*op)
+            total_a += sum(bus.cost_of(kind) * n for kind, n in out_a.ops)
+            total_b += sum(bus.cost_of(kind) * n for kind, n in out_b.ops)
+        assert total_a == total_b
+
+    def test_same_miss_events_as_dir1nb(self):
+        a, b = DiriNB(4, pointers=1), Dir1NB(4)
+        for op in self._random_ops(43):
+            event_a = a.access(*op).event
+            event_b = b.access(*op).event
+            if event_a.is_miss or event_b.is_miss:
+                assert event_a is event_b
+
+    def test_same_final_state_as_dir1nb(self):
+        a, b = DiriNB(4, pointers=1), Dir1NB(4)
+        for op in self._random_ops(47):
+            a.access(*op)
+            b.access(*op)
+        for block in range(30):
+            assert a.sharing.holders(block) == b.sharing.holders(block)
+            assert a.sharing.dirty_owner(block) == b.sharing.dirty_owner(block)
+
+
+class TestMissRateTradeoff:
+    def test_more_pointers_fewer_displacements(self):
+        ops = TestDegenerationToDir1NB()._random_ops(51, n=6000)
+
+        def displaced(pointers):
+            proto = DiriNB(4, pointers=pointers)
+            for op in ops:
+                proto.access(*op)
+            return proto.displacements
+
+        assert displaced(1) >= displaced(2) >= displaced(4)
+        assert displaced(4) == 0  # four pointers cover all four caches
+
+    def test_storage_bits(self):
+        assert DiriNB.directory_bits_per_block(4, pointers=2) == 5
+        assert DiriNB.directory_bits_per_block(256, pointers=4) == 33

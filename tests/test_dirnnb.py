@@ -1,0 +1,87 @@
+"""Unit tests for DirnNB (Censier & Feautrier full map, sequential invalidates)."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.directory.dir0b import Dir0B
+from repro.protocols.directory.dirnnb import DirnNB
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+@pytest.fixture
+def proto():
+    return DirnNB(4)
+
+
+class TestSequentialInvalidation:
+    def test_one_message_per_remote_copy_on_write_hit(self, proto):
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (1, "r", 5), (2, "r", 5), (3, "r", 5), (0, "w", 5)]
+        )
+        hit = outcomes[4]
+        assert hit.event is Event.WH_BLK_CLEAN
+        assert dict(hit.ops) == {BusOp.DIR_CHECK: 1, BusOp.INVALIDATE: 3}
+        assert hit.invalidation_fanout == 3
+
+    def test_no_broadcasts_ever(self, proto):
+        rng = random.Random(9)
+        for _ in range(3000):
+            outcome = proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(25),
+            )
+            assert outcome.op_count(BusOp.BROADCAST_INVALIDATE) == 0
+
+    def test_sole_copy_write_hit_needs_no_invalidation(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        assert dict(outcomes[1].ops) == {BusOp.DIR_CHECK: 1}
+
+    def test_write_miss_sends_directed_invalidates(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (2, "r", 5), (0, "w", 5)])
+        miss = outcomes[2]
+        assert miss.op_count(BusOp.INVALIDATE) == 2
+
+
+class TestEquivalenceWithDir0B:
+    """Same state-change specification: identical events, different ops."""
+
+    def test_event_sequences_match_dir0b(self):
+        rng = random.Random(21)
+        ops = [
+            (
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(40),
+            )
+            for _ in range(5000)
+        ]
+        a, b = DirnNB(4), Dir0B(4)
+        for cache, access, block in ops:
+            assert a.access(cache, access, block).event is b.access(
+                cache, access, block
+            ).event
+
+    def test_fanout_distributions_match_dir0b(self):
+        rng = random.Random(22)
+        a, b = DirnNB(4), Dir0B(4)
+        fanouts_a, fanouts_b = [], []
+        for _ in range(5000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(40)
+            fa = a.access(cache, access, block).invalidation_fanout
+            fb = b.access(cache, access, block).invalidation_fanout
+            fanouts_a.append(fa)
+            fanouts_b.append(fb)
+        assert fanouts_a == fanouts_b
+
+
+class TestStorage:
+    def test_full_map_grows_linearly(self):
+        assert DirnNB.directory_bits_per_block(4) == 5
+        assert DirnNB.directory_bits_per_block(256) == 257

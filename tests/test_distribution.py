@@ -1,0 +1,86 @@
+"""Unit tests for the distributed-directory bandwidth model (Section 7)."""
+
+import pytest
+
+from conftest import trace_of
+from repro.analysis.distribution import DirectoryLoadModel, load_model_from_result
+from repro.core.simulator import simulate
+from repro.protocols import create_protocol
+
+
+def model(directory_rate=0.01, memory_rate=0.02):
+    return DirectoryLoadModel(
+        directory_rate=directory_rate, memory_rate=memory_rate
+    )
+
+
+class TestLoadModel:
+    def test_centralized_utilization_grows_linearly(self):
+        m = model()
+        assert m.centralized_utilization(8) == pytest.approx(
+            2 * m.centralized_utilization(4)
+        )
+
+    def test_distributed_utilization_is_flat(self):
+        # The paper's claim: distributing the directory with the processors
+        # makes per-module load independent of machine size.
+        m = model()
+        assert m.distributed_utilization(4) == pytest.approx(
+            m.distributed_utilization(256)
+        )
+
+    def test_distributed_equals_single_processor_load(self):
+        m = model()
+        assert m.distributed_utilization(64) == pytest.approx(
+            m.centralized_utilization(1)
+        )
+
+    def test_max_processors_centralized(self):
+        # demand/processor = 0.01*2 + 0.02*4 = 0.10 busy-cycles per cycle.
+        assert model().max_processors_centralized(max_utilization=0.8) == 8
+
+    def test_max_processors_with_no_traffic_is_unbounded(self):
+        assert model(0.0, 0.0).max_processors_centralized() > 1_000_000
+
+    def test_sweep_structure(self):
+        sweep = model().sweep((4, 16))
+        assert set(sweep) == {4, 16}
+        assert sweep[16]["centralized"] > sweep[16]["distributed"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DirectoryLoadModel(directory_rate=-1, memory_rate=0)
+        with pytest.raises(ValueError):
+            DirectoryLoadModel(
+                directory_rate=0, memory_rate=0, memory_service_cycles=0
+            )
+        with pytest.raises(ValueError):
+            model().centralized_utilization(0)
+        with pytest.raises(ValueError):
+            model().max_processors_centralized(max_utilization=0)
+
+
+class TestLoadModelFromSimulation:
+    def test_rates_extracted_from_result(self):
+        trace = trace_of(
+            [(0, "r", 0), (1, "r", 0), (0, "w", 0), (1, "r", 0), (2, "r", 16)]
+        )
+        result = simulate(create_protocol("dir0b", 4), trace)
+        m = load_model_from_result(result)
+        # The write hit to a clean shared block checked the directory.
+        assert m.directory_rate > 0
+        # Misses and the write-back produced memory traffic.
+        assert m.memory_rate > 0
+
+    def test_paper_conclusion_directory_not_a_bottleneck(self):
+        """'The bandwidth requirement to the directory ... is shown to be
+        not much more severe than the memory bandwidth need.'"""
+        from repro.trace import standard_trace
+
+        result = simulate(
+            create_protocol("dir0b", 4), standard_trace("POPS", scale=1 / 128)
+        )
+        m = load_model_from_result(result)
+        directory_demand = m.directory_rate * m.directory_service_cycles
+        memory_demand = m.memory_rate * m.memory_service_cycles
+        assert directory_demand < 2 * memory_demand

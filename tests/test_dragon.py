@@ -1,0 +1,106 @@
+"""Unit tests for the Dragon update-based snoopy protocol."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.snoopy.dragon import Dragon
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+@pytest.fixture
+def proto():
+    return Dragon(4)
+
+
+class TestNoInvalidation:
+    def test_copies_are_never_removed(self, proto):
+        rng = random.Random(71)
+        high_water = {}
+        for _ in range(4000):
+            block = rng.randrange(20)
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                block,
+            )
+            count = proto.sharing.holder_count(block)
+            assert count >= high_water.get(block, 0)
+            high_water[block] = count
+
+    def test_infinite_cache_gives_at_most_one_miss_per_cache(self, proto):
+        # Once loaded, a block stays; re-reads by the same cache always hit.
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (1, "w", 5), (0, "r", 5), (0, "r", 5)]
+        )
+        assert outcomes[2].event is Event.READ_HIT
+        assert outcomes[3].event is Event.READ_HIT
+
+
+class TestWriteUpdates:
+    def test_shared_write_hit_broadcasts_one_word(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        hit = outcomes[2]
+        assert hit.event is Event.WH_DISTRIB
+        assert dict(hit.ops) == {BusOp.WRITE_UPDATE: 1}
+        assert proto.sharing.holder_count(5) == 2  # nobody invalidated
+
+    def test_unshared_write_hit_is_local(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        hit = outcomes[1]
+        assert hit.event is Event.WH_LOCAL
+        assert hit.ops == ()
+
+    def test_write_miss_to_shared_block_fetches_and_updates(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert dict(miss.ops) == {BusOp.MEM_ACCESS: 1, BusOp.WRITE_UPDATE: 1}
+
+    def test_writer_becomes_owner(self, proto):
+        run_ops(proto, [(0, "r", 5), (1, "r", 5), (1, "w", 5)])
+        assert proto.sharing.dirty_owner(5) == 1
+
+
+class TestOwnerSupply:
+    def test_dirty_block_supplied_by_owner(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (1, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_DIRTY
+        assert dict(miss.ops) == {BusOp.CACHE_SUPPLY: 1}
+
+    def test_memory_stays_stale_after_updates(self, proto):
+        # Write updates do not write memory: the block stays dirty and a
+        # third cache is still supplied by the owner.
+        run_ops(proto, [(0, "w", 5), (1, "r", 5), (0, "w", 5)])
+        outcomes = run_ops(proto, [(2, "r", 5)])
+        assert outcomes[0].event is Event.RM_BLK_DIRTY
+        assert dict(outcomes[0].ops) == {BusOp.CACHE_SUPPLY: 1}
+
+    def test_clean_block_supplied_by_memory(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5)])
+        assert outcomes[1].event is Event.RM_BLK_CLEAN
+        assert dict(outcomes[1].ops) == {BusOp.MEM_ACCESS: 1}
+
+    def test_write_miss_to_dirty_block_supplied_by_owner(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (1, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_DIRTY
+        assert dict(miss.ops) == {BusOp.CACHE_SUPPLY: 1, BusOp.WRITE_UPDATE: 1}
+
+
+class TestMissRateIsNative:
+    def test_total_misses_bounded_by_blocks_times_caches(self, proto):
+        rng = random.Random(73)
+        misses = 0
+        for _ in range(8000):
+            outcome = proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(10),
+            )
+            misses += outcome.event.is_miss or outcome.event.is_first_ref
+        assert misses <= 10 * 4  # each cache misses each block at most once

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example accepts a scale denominator; a large value keeps the runs to a
+couple of seconds while still exercising the full code path.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+FAST_SCALE = "512"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        result = _run("quickstart.py", FAST_SCALE)
+        assert result.returncode == 0, result.stderr
+        assert "Table 4" in result.stdout
+        assert "effective processors" in result.stdout
+
+    def test_spinlock_study(self):
+        result = _run("spinlock_study.py", FAST_SCALE)
+        assert result.returncode == 0, result.stderr
+        assert "Dir1NB" in result.stdout
+        assert "contention sweep" in result.stdout
+
+    def test_scalability_study(self):
+        result = _run("scalability_study.py", FAST_SCALE)
+        assert result.returncode == 0, result.stderr
+        assert "Dir1B" in result.stdout
+        assert "omega" in result.stdout
+
+    def test_custom_trace(self):
+        result = _run("custom_trace.py")
+        assert result.returncode == 0, result.stderr
+        assert "PIPELINE" in result.stdout
+        assert "evictions" in result.stdout
+
+    def test_protocol_zoo(self):
+        result = _run("protocol_zoo.py", FAST_SCALE)
+        assert result.returncode == 0, result.stderr
+        assert "softflush" in result.stdout
+        assert "knee" in result.stdout
+
+    def test_every_example_has_a_smoke_test(self):
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        tested = {
+            "quickstart.py",
+            "spinlock_study.py",
+            "scalability_study.py",
+            "custom_trace.py",
+            "protocol_zoo.py",
+        }
+        assert scripts == tested

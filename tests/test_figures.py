@@ -1,0 +1,78 @@
+"""Unit tests for the figure builders (paper Figures 1-5)."""
+
+import pytest
+
+from conftest import trace_of
+from repro.analysis.figures import figure1, figure2, figure3, figure4, figure5
+from repro.core.comparison import run_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    a = trace_of(
+        [(0, "r", 0), (1, "r", 0), (2, "r", 0), (0, "w", 0), (1, "r", 0)]
+        + [(3, "w", 16), (3, "w", 16), (2, "r", 16)]
+    )
+    b = trace_of([(0, "r", 0), (0, "w", 0), (1, "w", 0), (2, "r", 32)])
+    factories = {"A": lambda: iter(list(a)), "B": lambda: iter(list(b))}
+    return run_comparison(
+        ("dir1nb", "wti", "dir0b", "dragon"), factories, n_caches=4
+    )
+
+
+class TestFigure1:
+    def test_percentages_sum_to_hundred(self, comparison):
+        figure = figure1(comparison)
+        assert sum(figure.percentages) == pytest.approx(100.0)
+
+    def test_share_and_mean_consistent(self, comparison):
+        figure = figure1(comparison)
+        assert 0.0 <= figure.share_at_most_one <= 1.0
+        assert figure.mean_fanout >= 0.0
+
+    def test_render_mentions_paper_claim(self, comparison):
+        assert "85%" in figure1(comparison).render()
+
+
+class TestFigure2And3:
+    def test_low_endpoint_is_pipelined(self, comparison):
+        figure = figure2(comparison)
+        for low, high in figure.series["average"]:
+            assert low <= high  # non-pipelined always costs at least as much
+
+    def test_figure3_has_one_series_per_trace(self, comparison):
+        figure = figure3(comparison)
+        assert set(figure.series) == {"A", "B"}
+
+    def test_figure2_labels_match_schemes(self, comparison):
+        figure = figure2(comparison)
+        assert figure.labels == ["Dir1NB", "WTI", "Dir0B", "Dragon"]
+
+    def test_render(self, comparison):
+        assert "cycles/ref" in figure2(comparison).render()
+        assert "Figure 3" in figure3(comparison).render()
+
+
+class TestFigure4:
+    def test_fractions_sum_to_one_for_nonzero_schemes(self, comparison):
+        figure = figure4(comparison)
+        for label in figure.labels:
+            total = sum(figure.fractions[label].values())
+            assert total == pytest.approx(1.0)
+
+    def test_render(self, comparison):
+        text = figure4(comparison).render()
+        assert "Dragon" in text
+
+
+class TestFigure5:
+    def test_per_transaction_costs_positive(self, comparison):
+        values = figure5(comparison)
+        assert set(values) == {"Dir1NB", "WTI", "Dir0B", "Dragon"}
+        assert all(v > 0 for v in values.values())
+
+    def test_wti_transactions_are_cheap(self, comparison):
+        # Write-throughs are single-cycle, so WTI's average transaction is
+        # small compared to Dir1NB's block moves.
+        values = figure5(comparison)
+        assert values["WTI"] < values["Dir1NB"]

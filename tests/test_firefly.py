@@ -1,0 +1,83 @@
+"""Unit tests for the Firefly update-based protocol."""
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.snoopy.firefly import Firefly
+from repro.protocols.events import Event
+
+
+@pytest.fixture
+def proto():
+    return Firefly(4)
+
+
+class TestUpdatesThroughMemory:
+    def test_shared_write_is_a_write_through(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        hit = outcomes[2]
+        assert hit.event is Event.WH_DISTRIB
+        assert dict(hit.ops) == {BusOp.WRITE_THROUGH: 1}
+        assert proto.sharing.holder_count(5) == 2  # nobody invalidated
+
+    def test_memory_never_stale_for_shared_blocks(self, proto):
+        # Unlike Dragon, a shared block stays clean after updates: a third
+        # reader is served by the caches but no flush is needed.
+        run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        assert not proto.sharing.is_dirty(5)
+        outcomes = run_ops(proto, [(2, "r", 5)])
+        assert outcomes[0].event is Event.RM_BLK_CLEAN
+
+    def test_exclusive_write_stays_local_and_dirty(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        assert outcomes[1].event is Event.WH_LOCAL
+        assert outcomes[1].ops == ()
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_dirty_block_becomes_clean_when_shared(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (1, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_DIRTY
+        assert dict(miss.ops) == {BusOp.FLUSH_REQUEST: 1, BusOp.WRITE_BACK: 1}
+        assert not proto.sharing.is_dirty(5)
+
+    def test_write_miss_to_shared_block_updates_through(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert dict(miss.ops) == {BusOp.CACHE_SUPPLY: 1, BusOp.WRITE_THROUGH: 1}
+        assert proto.sharing.holder_count(5) == 2
+
+    def test_no_copy_is_ever_invalidated(self, proto):
+        import random
+
+        from repro.trace.record import AccessType
+
+        rng = random.Random(11)
+        high_water = {}
+        for _ in range(3000):
+            block = rng.randrange(20)
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                block,
+            )
+            count = proto.sharing.holder_count(block)
+            assert count >= high_water.get(block, 0)
+            high_water[block] = count
+
+
+class TestFireflyVsDragon:
+    def test_firefly_misses_never_need_owner_supply_twice(self):
+        """Dragon keeps blocks dirty forever; Firefly cleans them on first
+        sharing, so later misses are plain memory reads."""
+        from repro.protocols.snoopy.dragon import Dragon
+
+        ops = [(0, "w", 5), (1, "r", 5), (2, "r", 5)]
+        firefly_out = run_ops(Firefly(4), ops)
+        dragon_out = run_ops(Dragon(4), ops)
+        # The third cache's miss: Dragon from the owner, Firefly from the
+        # clean-shared caches.
+        assert dict(dragon_out[2].ops) == {BusOp.CACHE_SUPPLY: 1}
+        assert firefly_out[2].event is Event.RM_BLK_CLEAN

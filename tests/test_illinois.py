@@ -1,0 +1,82 @@
+"""Unit tests for the Illinois (MESI) protocol."""
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.snoopy.illinois import Illinois
+from repro.protocols.events import Event
+
+
+@pytest.fixture
+def proto():
+    return Illinois(4)
+
+
+class TestExclusiveState:
+    def test_lonely_read_installs_exclusive(self, proto):
+        run_ops(proto, [(0, "r", 5)])
+        # First ref: exclusive.  The write that follows is silent (E -> M).
+        outcomes = run_ops(proto, [(0, "w", 5)])
+        assert outcomes[0].event is Event.WH_BLK_CLEAN
+        assert outcomes[0].ops == ()
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_shared_read_is_not_exclusive(self, proto):
+        run_ops(proto, [(0, "r", 5), (1, "r", 5)])
+        outcomes = run_ops(proto, [(1, "w", 5)])
+        # S -> M needs the bus invalidation signal.
+        assert dict(outcomes[0].ops) == {BusOp.BROADCAST_INVALIDATE: 1}
+
+    def test_second_reader_downgrades_exclusivity(self, proto):
+        run_ops(proto, [(0, "r", 5), (1, "r", 5)])
+        outcomes = run_ops(proto, [(0, "w", 5)])
+        # Cache 0 is no longer exclusive even though it read first.
+        assert outcomes[0].op_count(BusOp.BROADCAST_INVALIDATE) == 1
+
+
+class TestCacheToCacheTransfer:
+    def test_clean_blocks_supplied_by_caches(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_CLEAN
+        assert dict(miss.ops) == {BusOp.CACHE_SUPPLY: 1}
+
+    def test_uncached_blocks_come_from_memory(self, proto):
+        run_ops(proto, [(1, "w", 5), (1, "w", 6)])
+        # Evicting leaves nothing cached; loads must come from memory.
+        proto.evict(1, 5)
+        outcomes = run_ops(proto, [(0, "r", 5)])
+        assert dict(outcomes[0].ops) == {BusOp.MEM_ACCESS: 1}
+
+    def test_dirty_supplier_writes_memory_back(self, proto):
+        outcomes = run_ops(proto, [(1, "w", 5), (0, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_DIRTY
+        assert dict(miss.ops) == {BusOp.FLUSH_REQUEST: 1, BusOp.WRITE_BACK: 1}
+        assert not proto.sharing.is_dirty(5)  # M -> S updates memory
+
+    def test_write_miss_supplied_by_cache_when_shared(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (2, "r", 5), (0, "w", 5)])
+        miss = outcomes[2]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert dict(miss.ops) == {BusOp.CACHE_SUPPLY: 1}
+        assert proto.sharing.holders(5) == 0b0001
+
+
+class TestMESIInvariant:
+    def test_exclusive_is_always_sole(self, proto):
+        import random
+
+        from repro.trace.record import AccessType
+
+        rng = random.Random(7)
+        for _ in range(3000):
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(20),
+            )
+            for block, holder in proto._exclusive.items():
+                assert proto.sharing.holders(block) == 1 << holder
+        proto.sharing.check_invariants()

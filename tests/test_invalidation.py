@@ -1,0 +1,64 @@
+"""Unit tests for the invalidation fan-out histogram (Figure 1)."""
+
+import pytest
+
+from repro.core.invalidation import InvalidationHistogram
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = InvalidationHistogram()
+        assert histogram.total == 0
+        assert histogram.percentages() == []
+        assert histogram.share_at_most(1) == 0.0
+        assert histogram.mean_fanout == 0.0
+        assert histogram.max_fanout == 0
+
+    def test_record_and_count(self):
+        histogram = InvalidationHistogram()
+        for fanout in (0, 1, 1, 2):
+            histogram.record(fanout)
+        assert histogram.total == 4
+        assert histogram.count(1) == 2
+        assert histogram.count(3) == 0
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            InvalidationHistogram().record(-1)
+
+    def test_percentages_are_dense(self):
+        histogram = InvalidationHistogram()
+        histogram.record(0)
+        histogram.record(3)
+        assert histogram.percentages() == [50.0, 0.0, 0.0, 50.0]
+
+    def test_share_at_most(self):
+        histogram = InvalidationHistogram()
+        for fanout in (0, 0, 1, 2, 3):
+            histogram.record(fanout)
+        assert histogram.share_at_most(0) == pytest.approx(0.4)
+        assert histogram.share_at_most(1) == pytest.approx(0.6)
+        assert histogram.share_at_most(3) == pytest.approx(1.0)
+
+    def test_mean(self):
+        histogram = InvalidationHistogram()
+        for fanout in (0, 1, 2, 3):
+            histogram.record(fanout)
+        assert histogram.mean_fanout == pytest.approx(1.5)
+
+    def test_merge(self):
+        a, b = InvalidationHistogram(), InvalidationHistogram()
+        a.record(1)
+        b.record(1)
+        b.record(2)
+        a.merge(b)
+        assert a.total == 3
+        assert a.count(1) == 2
+        assert a.count(2) == 1
+
+    def test_as_dict_is_a_copy(self):
+        histogram = InvalidationHistogram()
+        histogram.record(1)
+        snapshot = histogram.as_dict()
+        snapshot[1] = 99
+        assert histogram.count(1) == 1

@@ -1,0 +1,50 @@
+"""Unit tests for derived metrics (miss decomposition, processor bound)."""
+
+import pytest
+
+from repro.core.metrics import decompose_miss_rate, effective_processors
+
+
+class TestMissRateDecomposition:
+    def test_paper_numbers(self):
+        # Dir0B data miss rate 1.13%, native (Dragon) 0.72%: coherence misses
+        # are 0.41% and thus 36% of the total (Section 5).
+        decomposition = decompose_miss_rate(1.13, 0.72)
+        assert decomposition.coherence_miss_rate == pytest.approx(0.41)
+        assert decomposition.coherence_share == pytest.approx(0.36, abs=0.01)
+
+    def test_zero_miss_rate(self):
+        decomposition = decompose_miss_rate(0.0, 0.0)
+        assert decomposition.coherence_share == 0.0
+
+    def test_native_exceeding_scheme_clamps_to_zero(self):
+        decomposition = decompose_miss_rate(0.5, 0.7)
+        assert decomposition.coherence_miss_rate == 0.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_miss_rate(-1.0, 0.5)
+
+
+class TestEffectiveProcessors:
+    def test_paper_estimate(self):
+        # "A 10-MIPS processor will therefore require a bus cycle every
+        # 1500 ns, and a bus with a cycle time of 100 ns will only yield a
+        # maximum performance of 15 effective processors."
+        bound = effective_processors(
+            cycles_per_reference=0.03, processor_mips=10, bus_cycle_ns=100
+        )
+        assert bound == pytest.approx(15, rel=0.15)
+
+    def test_scales_inversely_with_cost(self):
+        cheap = effective_processors(0.03, 10, 100)
+        expensive = effective_processors(0.06, 10, 100)
+        assert cheap == pytest.approx(2 * expensive)
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            effective_processors(0.0)
+        with pytest.raises(ValueError):
+            effective_processors(0.03, processor_mips=0)
+        with pytest.raises(ValueError):
+            effective_processors(0.03, bus_cycle_ns=0)

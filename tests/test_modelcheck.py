@@ -1,0 +1,121 @@
+"""Tests for the exhaustive coherence model checker."""
+
+import pytest
+
+from repro.core.modelcheck import model_check
+from repro.protocols import create_protocol, protocol_names
+from repro.protocols.base import AccessOutcome
+from repro.protocols.directory.dir0b import Dir0B
+from repro.protocols.events import Event
+
+# Protocols cheap enough to exhaust at depth 5 in the unit-test suite.
+FAST_DEPTH = 5
+
+
+class TestAllProtocolsVerify:
+    @pytest.mark.parametrize("name", sorted(protocol_names()))
+    def test_two_caches_one_block(self, name):
+        report = model_check(
+            lambda n: create_protocol(name, n),
+            n_caches=2,
+            n_blocks=1,
+            depth=FAST_DEPTH,
+        )
+        assert report.ok, report.render()
+        assert report.sequences_explored == sum(4**d for d in range(1, FAST_DEPTH + 1))
+
+    def test_three_caches_catch_third_party_bugs(self):
+        # Deliberately small depth: branching is 6 per step.
+        for name in ("dir0b", "dragon", "dirnnb"):
+            report = model_check(
+                lambda n, name=name: create_protocol(name, n),
+                n_caches=3,
+                n_blocks=1,
+                depth=4,
+            )
+            assert report.ok, report.render()
+
+    def test_two_blocks_no_aliasing(self):
+        report = model_check(
+            lambda n: create_protocol("dir0b", n),
+            n_caches=2,
+            n_blocks=2,
+            depth=4,
+        )
+        assert report.ok
+
+
+class _InvalidatesTheWrongSharer(Dir0B):
+    """Three-party bug: invalidates only the lowest-indexed remote sharer."""
+
+    name = "broken-wrong-sharer"
+
+    def _write_hit_clean(self, cache, block):
+        sharing = self.sharing
+        remote = sharing.remote_holders(block, cache)
+        if remote:
+            lowest = (remote & -remote).bit_length() - 1
+            sharing.remove_holder(block, lowest)  # leaves the others stale
+        sharing.set_dirty(block, cache)
+        return AccessOutcome(
+            event=Event.WH_BLK_CLEAN, ops=(), invalidation_fanout=0
+        )
+
+
+class TestCounterexamples:
+    def test_two_party_bug_found(self):
+        import sys
+
+        from repro.core.oracle import CoherenceViolation  # noqa: F401
+
+        class Broken(Dir0B):
+            name = "broken"
+
+            def _write_hit_clean(self, cache, block):
+                self.sharing.set_dirty(block, cache)
+                return AccessOutcome(
+                    event=Event.WH_BLK_CLEAN, ops=(), invalidation_fanout=0
+                )
+
+        report = model_check(lambda n: Broken(n), n_caches=2, depth=5)
+        assert not report.ok
+        assert report.counterexample is not None
+        assert "version" in report.error
+
+    def test_three_party_bug_needs_three_caches(self):
+        # With two caches the wrong-sharer bug is invisible (the "wrong"
+        # sharer is the only sharer); with three it is caught.
+        two = model_check(
+            lambda n: _InvalidatesTheWrongSharer(n), n_caches=2, depth=5
+        )
+        assert two.ok
+        three = model_check(
+            lambda n: _InvalidatesTheWrongSharer(n), n_caches=3, depth=4
+        )
+        assert not three.ok
+
+    def test_counterexample_replays_to_a_violation(self):
+        from repro.core.oracle import CoherenceOracle, CoherenceViolation
+
+        report = model_check(
+            lambda n: _InvalidatesTheWrongSharer(n), n_caches=3, depth=4
+        )
+        oracle = CoherenceOracle(_InvalidatesTheWrongSharer(3))
+        with pytest.raises(CoherenceViolation):
+            for cache, access, block in report.counterexample:
+                oracle.access(cache, access, block)
+            oracle.check_all_copies()
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            model_check(lambda n: create_protocol("dir0b", n), n_caches=0)
+        with pytest.raises(ValueError):
+            model_check(lambda n: create_protocol("dir0b", n), depth=0)
+
+    def test_render(self):
+        report = model_check(
+            lambda n: create_protocol("dir0b", n), n_caches=2, depth=2
+        )
+        assert "OK" in report.render()

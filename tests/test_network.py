@@ -1,0 +1,117 @@
+"""Tests for the interconnection-network cost models and scaling analysis."""
+
+import math
+
+import pytest
+
+from conftest import trace_of
+from repro.core.comparison import run_comparison
+from repro.analysis.network import network_scaling
+from repro.interconnect.bus import BusOp
+from repro.interconnect.network import NetworkModel, Topology, network_cost_model
+
+
+class TestNetworkModel:
+    def test_bus_and_crossbar_are_distance_one(self):
+        for topology in (Topology.BUS, Topology.CROSSBAR):
+            model = NetworkModel(topology=topology, n_nodes=64)
+            assert model.average_hops == 1.0
+
+    def test_omega_hops_are_logarithmic(self):
+        assert NetworkModel(Topology.OMEGA, 64).average_hops == 6.0
+        assert NetworkModel(Topology.OMEGA, 256).average_hops == 8.0
+
+    def test_mesh_hops_scale_with_sqrt(self):
+        model = NetworkModel(Topology.MESH2D, 256)
+        assert model.average_hops == pytest.approx(2 * 16 / 3)
+
+    def test_wormhole_message_cost(self):
+        model = NetworkModel(Topology.OMEGA, 16)  # 4 hops
+        assert model.directed_message_cycles(1) == 4.0
+        assert model.directed_message_cycles(4) == 7.0
+
+    def test_only_the_bus_broadcasts_in_hardware(self):
+        assert NetworkModel(Topology.BUS, 16).has_hardware_broadcast
+        for topology in (Topology.CROSSBAR, Topology.OMEGA, Topology.MESH2D):
+            assert not NetworkModel(topology, 16).has_hardware_broadcast
+
+    def test_broadcast_emulation_costs_n_minus_one_messages(self):
+        model = NetworkModel(Topology.CROSSBAR, 16)
+        assert model.broadcast_cycles(1) == 15 * model.directed_message_cycles(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(Topology.BUS, 1)
+        with pytest.raises(ValueError):
+            NetworkModel(Topology.BUS, 4, per_hop_cycles=0)
+        with pytest.raises(ValueError):
+            NetworkModel(Topology.BUS, 4).directed_message_cycles(0)
+
+
+class TestNetworkCostModel:
+    def test_every_op_priced(self):
+        model = network_cost_model(NetworkModel(Topology.OMEGA, 16))
+        for op in BusOp:
+            assert model.cost_of(op) >= 0
+
+    def test_overlapped_directory_check_stays_free(self):
+        model = network_cost_model(NetworkModel(Topology.MESH2D, 64))
+        assert model.cost_of(BusOp.DIR_CHECK_OVERLAPPED) == 0
+
+    def test_directed_invalidate_is_size_insensitive_on_crossbar(self):
+        small = network_cost_model(NetworkModel(Topology.CROSSBAR, 4))
+        large = network_cost_model(NetworkModel(Topology.CROSSBAR, 256))
+        assert small.cost_of(BusOp.INVALIDATE) == large.cost_of(BusOp.INVALIDATE)
+
+    def test_broadcast_invalidate_grows_with_machine(self):
+        small = network_cost_model(NetworkModel(Topology.OMEGA, 4))
+        large = network_cost_model(NetworkModel(Topology.OMEGA, 256))
+        assert large.cost_of(BusOp.BROADCAST_INVALIDATE) > 10 * small.cost_of(
+            BusOp.BROADCAST_INVALIDATE
+        )
+
+    def test_three_hop_miss_costs_more_than_memory_miss(self):
+        model = network_cost_model(NetworkModel(Topology.OMEGA, 16))
+        assert model.cost_of(BusOp.CACHE_SUPPLY) > model.cost_of(BusOp.MEM_ACCESS)
+
+
+class TestNetworkScaling:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        trace = trace_of(
+            [(0, "r", 0), (1, "r", 0), (0, "w", 0), (1, "r", 0), (1, "w", 0)]
+            + [(2, "r", 16), (2, "w", 16), (3, "r", 16), (0, "w", 16)]
+        )
+        return run_comparison(
+            ("dirnnb", "dir0b", "wti", "dragon"),
+            {"T": lambda: iter(list(trace))},
+            n_caches=4,
+        )
+
+    def test_directed_schemes_grow_slowest(self, comparison):
+        scaling = network_scaling(
+            comparison, ("dirnnb", "dir0b", "wti", "dragon")
+        )
+        assert scaling.growth("dirnnb") < scaling.growth("dir0b")
+        assert scaling.growth("dirnnb") < scaling.growth("dragon")
+        assert scaling.growth("dirnnb") < scaling.growth("wti")
+
+    def test_directory_is_cheapest_at_scale(self, comparison):
+        scaling = network_scaling(
+            comparison, ("dirnnb", "dir0b", "wti", "dragon")
+        )
+        assert scaling.cheapest_at(256) == "dirnnb"
+
+    def test_costs_increase_monotonically_with_size(self, comparison):
+        scaling = network_scaling(comparison, ("dirnnb",))
+        values = [scaling.cycles["dirnnb"][n] for n in scaling.node_counts]
+        assert values == sorted(values)
+
+    def test_render(self, comparison):
+        scaling = network_scaling(comparison, ("dirnnb", "dragon"))
+        text = scaling.render()
+        assert "cheapest at" in text and "omega" in text
+
+    def test_requires_schemes(self, comparison):
+        with pytest.raises(ValueError):
+            network_scaling(comparison, ())

@@ -1,0 +1,117 @@
+"""Tests for the coherence oracle — including broken protocols it must catch."""
+
+import pytest
+
+from conftest import trace_of
+from repro.core.oracle import (
+    CoherenceOracle,
+    CoherenceViolation,
+    validate_coherence,
+)
+from repro.interconnect.bus import BusOp
+from repro.protocols import create_protocol, protocol_names
+from repro.protocols.base import AccessOutcome
+from repro.protocols.directory.dir0b import Dir0B
+from repro.protocols.events import Event
+from repro.trace import standard_trace, take
+from repro.trace.record import AccessType
+
+
+class TestAllProtocolsAreCoherent:
+    @pytest.mark.parametrize("name", sorted(protocol_names()))
+    def test_protocol_is_coherent_on_shared_trace(self, name):
+        trace = take(standard_trace("POPS", scale=1 / 128), 8000)
+        report = validate_coherence(create_protocol(name, 4), trace)
+        assert report.copies_checked > 0
+        assert report.writes > 0
+
+    def test_report_counts_references(self):
+        trace = trace_of([(0, "r", 0), (0, "w", 0), (1, "r", 0)])
+        report = validate_coherence(create_protocol("dir0b", 4), trace)
+        assert report.references == 3
+        assert report.writes == 1
+
+
+class _ForgetsToInvalidate(Dir0B):
+    """Deliberately broken: writes never invalidate the other copies."""
+
+    name = "broken-no-invalidate"
+
+    def _write_hit_clean(self, cache, block):
+        self.sharing.set_dirty(block, cache)  # others keep their stale copies
+        return AccessOutcome(
+            event=Event.WH_BLK_CLEAN, ops=(), invalidation_fanout=0
+        )
+
+
+class _ForgetsToFlush(Dir0B):
+    """Deliberately broken: read misses to dirty blocks read stale memory."""
+
+    name = "broken-no-flush"
+
+    def _read(self, cache, block, first_ref):
+        sharing = self.sharing
+        if sharing.is_held(block, cache):
+            return AccessOutcome(event=Event.READ_HIT)
+        if first_ref:
+            sharing.add_holder(block, cache)
+            return AccessOutcome(event=Event.RM_FIRST_REF)
+        # Bug: ignore any dirty owner and fetch (stale) memory.
+        sharing.add_holder(block, cache)
+        return AccessOutcome(
+            event=Event.RM_BLK_CLEAN, ops=((BusOp.MEM_ACCESS, 1),)
+        )
+
+
+class TestOracleCatchesBugs:
+    def test_missing_invalidation_detected(self):
+        trace = trace_of(
+            [(0, "r", 0), (1, "r", 0), (0, "w", 0), (1, "r", 0)]
+        )
+        with pytest.raises(CoherenceViolation, match="version"):
+            validate_coherence(_ForgetsToInvalidate(4), trace)
+
+    def test_missing_flush_detected(self):
+        # Cache 0 dirties the block; cache 1 fetches stale memory and then
+        # re-reads it (a hit on the stale copy).
+        trace = trace_of(
+            [(0, "w", 0), (1, "r", 0), (1, "r", 0)]
+        )
+        with pytest.raises(CoherenceViolation):
+            validate_coherence(_ForgetsToFlush(4), trace)
+
+    def test_final_sweep_catches_resting_stale_copies(self):
+        # Even without a re-read, the end-of-run sweep flags the stale copy.
+        oracle = CoherenceOracle(_ForgetsToInvalidate(4))
+        oracle.access(0, AccessType.READ, 0)
+        oracle.access(1, AccessType.READ, 0)
+        oracle.access(0, AccessType.WRITE, 0)
+        with pytest.raises(CoherenceViolation, match="final sweep"):
+            oracle.check_all_copies()
+
+
+class TestOracleSemantics:
+    def test_update_protocol_survivors_are_current(self):
+        # Dragon: the other holder's copy is refreshed by the write update.
+        trace = trace_of(
+            [(0, "r", 0), (1, "r", 0), (0, "w", 0), (1, "r", 0)]
+        )
+        report = validate_coherence(create_protocol("dragon", 4), trace)
+        assert report.copies_checked >= 1
+
+    def test_snarfed_writeback_hands_over_current_data(self):
+        trace = trace_of([(0, "w", 0), (1, "r", 0), (1, "r", 0)])
+        validate_coherence(create_protocol("dir0b", 4), trace)
+
+    def test_owner_supply_without_memory_update_is_coherent(self):
+        # Berkeley keeps memory stale but the owner supplies current data.
+        trace = trace_of(
+            [(0, "w", 0), (1, "r", 0), (1, "r", 0), (2, "r", 0), (2, "r", 0)]
+        )
+        validate_coherence(create_protocol("berkeley", 4), trace)
+
+    def test_instructions_are_ignored(self):
+        trace = trace_of([(0, "i", 0), (0, "w", 0), (0, "i", 0)])
+        report = validate_coherence(create_protocol("wti", 4), trace)
+        assert report.references == 3
+        assert report.writes == 1

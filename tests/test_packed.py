@@ -1,0 +1,79 @@
+"""Tests for the NumPy-packed trace container."""
+
+import pytest
+
+from conftest import record
+from repro.core.simulator import simulate
+from repro.protocols import create_protocol
+from repro.trace import standard_trace, take
+from repro.trace.packed import PackedTrace
+
+
+def _sample():
+    return [
+        record(0, kind="i", address=0x100),
+        record(1, pid=7, kind="r", address=0x200, spin=True),
+        record(2, pid=8, kind="w", address=0x300, os=True),
+        record(3, kind="r", address=2**40),
+    ]
+
+
+class TestRoundTrip:
+    def test_records_round_trip(self):
+        packed = PackedTrace.from_records(_sample())
+        assert list(packed) == _sample()
+
+    def test_len_and_indexing(self):
+        packed = PackedTrace.from_records(_sample())
+        assert len(packed) == 4
+        assert packed[1] == _sample()[1]
+
+    def test_slicing_returns_packed(self):
+        packed = PackedTrace.from_records(_sample())
+        tail = packed[2:]
+        assert isinstance(tail, PackedTrace)
+        assert list(tail) == _sample()[2:]
+
+    def test_save_and_load(self, tmp_path):
+        packed = PackedTrace.from_records(_sample())
+        path = tmp_path / "trace.npz"
+        packed.save(path)
+        assert list(PackedTrace.load(path)) == _sample()
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="column lengths"):
+            PackedTrace([0], [0, 1], [1], [0], [0])
+
+
+class TestVectorisedStats:
+    @pytest.fixture(scope="class")
+    def packed(self):
+        return PackedTrace.from_records(
+            take(standard_trace("POPS", scale=1 / 128), 15000)
+        )
+
+    def test_counts_match_record_iteration(self, packed):
+        records = list(packed)
+        assert packed.instruction_count() == sum(
+            r.is_instruction for r in records
+        )
+        assert packed.read_count() == sum(r.is_read for r in records)
+        assert packed.write_count() == sum(r.is_write for r in records)
+        assert packed.spin_count() == sum(r.is_lock_spin for r in records)
+        assert packed.os_count() == sum(r.is_os for r in records)
+
+    def test_distinct_blocks(self, packed):
+        records = list(packed)
+        expected = len(
+            {r.address // 16 for r in records if not r.is_instruction}
+        )
+        assert packed.distinct_data_blocks() == expected
+
+    def test_memory_footprint_is_compact(self, packed):
+        # 16 bytes of columns per record vs hundreds for Python objects.
+        assert packed.nbytes <= 16 * len(packed)
+
+    def test_simulation_from_packed_matches_records(self, packed):
+        from_packed = simulate(create_protocol("dir0b", 4), packed)
+        from_records = simulate(create_protocol("dir0b", 4), list(packed))
+        assert from_packed.counters.events == from_records.counters.events

@@ -1,0 +1,159 @@
+"""Property-based tests over all coherence protocols (hypothesis).
+
+Random access sequences are fed to every registered protocol; the paper's
+structural invariants must hold at every step:
+
+* single writer: a dirty block has exactly one holder;
+* hits are free for invalidation protocols' reads;
+* event classification agrees with the sharing state;
+* protocols sharing a state-change specification emit identical events.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.interconnect.bus import BusOp
+from repro.protocols.events import Event
+from repro.protocols.registry import PROTOCOLS, create_protocol
+from repro.trace.record import AccessType
+
+N_CACHES = 4
+N_BLOCKS = 12
+
+accesses = st.tuples(
+    st.integers(min_value=0, max_value=N_CACHES - 1),
+    st.sampled_from((AccessType.READ, AccessType.WRITE)),
+    st.integers(min_value=0, max_value=N_BLOCKS - 1),
+)
+sequences = st.lists(accesses, min_size=1, max_size=120)
+
+ALL_PROTOCOLS = sorted(PROTOCOLS)
+
+
+@pytest.mark.parametrize("name", ALL_PROTOCOLS)
+class TestUniversalInvariants:
+    @given(ops=sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_single_writer_and_holder_consistency(self, name, ops):
+        proto = create_protocol(name, N_CACHES)
+        for cache, access, block in ops:
+            proto.access(cache, access, block)
+            proto.sharing.check_invariants()
+            for b in range(N_BLOCKS):
+                if proto.sharing.is_dirty(b) and not name.startswith(
+                    ("dragon", "berkeley", "competitive")
+                ):
+                    # Update/ownership protocols (Dragon, Berkeley, the
+                    # competitive hybrid) keep an *owner* alongside sharers
+                    # (memory stays stale); every flush-on-read protocol
+                    # keeps dirty blocks exclusive.
+                    assert proto.sharing.holder_count(b) == 1
+
+    @given(ops=sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_accessor_always_ends_up_holding_the_block(self, name, ops):
+        proto = create_protocol(name, N_CACHES)
+        for cache, access, block in ops:
+            proto.access(cache, access, block)
+            assert proto.sharing.is_held(block, cache)
+
+    @given(ops=sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_read_hits_are_free(self, name, ops):
+        proto = create_protocol(name, N_CACHES)
+        for cache, access, block in ops:
+            outcome = proto.access(cache, access, block)
+            if outcome.event is Event.READ_HIT:
+                assert outcome.ops == ()
+
+    @given(ops=sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_first_reference_classification(self, name, ops):
+        proto = create_protocol(name, N_CACHES)
+        seen = set()
+        for cache, access, block in ops:
+            outcome = proto.access(cache, access, block)
+            if block not in seen:
+                assert outcome.event in (Event.RM_FIRST_REF, Event.WM_FIRST_REF)
+                seen.add(block)
+            else:
+                assert not outcome.event.is_first_ref
+
+    @given(ops=sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_fanout_reported_exactly_for_writes_to_clean_blocks(self, name, ops):
+        proto = create_protocol(name, N_CACHES)
+        for cache, access, block in ops:
+            before = proto.sharing.remote_holders(block, cache)
+            held_clean = proto.sharing.is_held(
+                block, cache
+            ) and not proto.sharing.is_dirty_in(block, cache)
+            outcome = proto.access(cache, access, block)
+            if outcome.event is Event.WH_BLK_CLEAN and held_clean:
+                assert outcome.invalidation_fanout == bin(before).count("1")
+
+    @given(ops=sequences)
+    @settings(max_examples=20, deadline=None)
+    def test_outcome_ops_are_wellformed(self, name, ops):
+        proto = create_protocol(name, N_CACHES)
+        for cache, access, block in ops:
+            outcome = proto.access(cache, access, block)
+            for op, count in outcome.ops:
+                assert isinstance(op, BusOp)
+                assert count >= 1
+
+
+class TestCrossProtocolEquivalences:
+    """Protocols sharing a state-change specification agree on events."""
+
+    @given(ops=sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_multi_copy_family_events_match(self, ops):
+        protos = [
+            create_protocol(name, N_CACHES)
+            for name in ("dir0b", "dirnnb", "dir1b", "dir2b", "tang", "yenfu", "coarse")
+        ]
+        for op in ops:
+            events = {proto.access(*op).event for proto in protos}
+            assert len(events) == 1
+
+    @given(ops=sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_dirinb1_state_matches_dir1nb(self, ops):
+        a = create_protocol("dir1nb", N_CACHES)
+        b = create_protocol("dir2nb", N_CACHES)  # warm import path
+        from repro.protocols.directory.dirinb import DiriNB
+
+        b = DiriNB(N_CACHES, pointers=1)
+        for op in ops:
+            a.access(*op)
+            b.access(*op)
+        for block in range(N_BLOCKS):
+            assert a.sharing.holders(block) == b.sharing.holders(block)
+            assert a.sharing.dirty_owner(block) == b.sharing.dirty_owner(block)
+
+    @given(ops=sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_dragon_holder_sets_are_supersets_of_everyone(self, ops):
+        """Dragon never invalidates, so its holder set for any block is a
+        superset of every invalidation protocol's."""
+        dragon = create_protocol("dragon", N_CACHES)
+        dir0b = create_protocol("dir0b", N_CACHES)
+        for op in ops:
+            dragon.access(*op)
+            dir0b.access(*op)
+        for block in range(N_BLOCKS):
+            dragon_mask = dragon.sharing.holders(block)
+            dir0b_mask = dir0b.sharing.holders(block)
+            assert dir0b_mask & ~dragon_mask == 0
+
+    @given(ops=sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_wti_memory_is_never_stale(self, ops):
+        wti = create_protocol("wti", N_CACHES)
+        for op in ops:
+            wti.access(*op)
+            for block in range(N_BLOCKS):
+                assert not wti.sharing.is_dirty(block)

@@ -1,0 +1,130 @@
+"""Property-based tests for the sharing table and caches (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.memory.cache import CacheGeometry, FiniteCache
+from repro.memory.sharing import SharingTable, bit_count, iter_bits
+from repro.memory.state import LineState
+
+masks = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+class TestBitHelpers:
+    @given(masks)
+    def test_bit_count_matches_iter_bits(self, mask):
+        assert bit_count(mask) == len(list(iter_bits(mask)))
+
+    @given(masks)
+    def test_iter_bits_reconstructs_mask(self, mask):
+        assert sum(1 << b for b in iter_bits(mask)) == mask
+
+    @given(masks, masks)
+    def test_bit_count_subadditive_under_or(self, a, b):
+        assert bit_count(a | b) <= bit_count(a) + bit_count(b)
+
+
+class SharingTableMachine(RuleBasedStateMachine):
+    """Random sequences of table updates must preserve the invariants and
+    agree with a naive model (dict of sets)."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = SharingTable()
+        self.model_holders = {}  # block -> set of caches
+        self.model_dirty = {}  # block -> cache
+
+    blocks = st.integers(min_value=0, max_value=7)
+    caches = st.integers(min_value=0, max_value=3)
+
+    @rule(block=blocks, cache=caches)
+    def add_holder(self, block, cache):
+        self.table.add_holder(block, cache)
+        self.model_holders.setdefault(block, set()).add(cache)
+
+    @rule(block=blocks, cache=caches)
+    def remove_holder(self, block, cache):
+        self.table.remove_holder(block, cache)
+        self.model_holders.get(block, set()).discard(cache)
+        if self.model_dirty.get(block) == cache:
+            del self.model_dirty[block]
+
+    @rule(block=blocks, cache=caches)
+    def set_dirty_if_held(self, block, cache):
+        if cache in self.model_holders.get(block, set()):
+            self.table.set_dirty(block, cache)
+            self.model_dirty[block] = cache
+
+    @rule(block=blocks)
+    def clear_dirty(self, block):
+        self.table.clear_dirty(block)
+        self.model_dirty.pop(block, None)
+
+    @rule(block=blocks, cache=caches)
+    def set_only_holder(self, block, cache):
+        self.table.set_only_holder(block, cache)
+        self.model_holders[block] = {cache}
+        if self.model_dirty.get(block, cache) != cache:
+            del self.model_dirty[block]
+
+    @rule(block=blocks)
+    def purge(self, block):
+        self.table.purge(block)
+        self.model_holders.pop(block, None)
+        self.model_dirty.pop(block, None)
+
+    @invariant()
+    def agrees_with_model(self):
+        for block in range(8):
+            expected = self.model_holders.get(block, set())
+            assert self.table.holder_count(block) == len(expected)
+            for cache in range(4):
+                assert self.table.is_held(block, cache) == (cache in expected)
+            assert self.table.dirty_owner(block) == self.model_dirty.get(
+                block, -1
+            )
+
+    @invariant()
+    def table_invariants_hold(self):
+        self.table.check_invariants()
+
+
+TestSharingTableStateMachine = SharingTableMachine.TestCase
+
+
+class TestFiniteCacheProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60)
+    def test_occupancy_never_exceeds_capacity(self, blocks, n_sets, assoc):
+        cache = FiniteCache(CacheGeometry(n_sets=n_sets, associativity=assoc))
+        for block in blocks:
+            if not cache.touch(block):
+                cache.insert(block)
+            assert len(cache) <= n_sets * assoc
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100)
+    )
+    @settings(max_examples=60)
+    def test_most_recent_insert_is_resident(self, blocks):
+        cache = FiniteCache(CacheGeometry(n_sets=2, associativity=2))
+        for block in blocks:
+            cache.insert(block)
+            assert cache.contains(block)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100)
+    )
+    @settings(max_examples=60)
+    def test_victims_come_from_the_same_set(self, blocks):
+        geometry = CacheGeometry(n_sets=4, associativity=1)
+        cache = FiniteCache(geometry)
+        for block in blocks:
+            victim = cache.insert(block)
+            if victim is not None:
+                assert geometry.set_of(victim) == geometry.set_of(block)

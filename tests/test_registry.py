@@ -1,0 +1,156 @@
+"""Unit tests for the protocol registry, base class and event taxonomy."""
+
+import pytest
+
+from repro.protocols.base import AccessOutcome, CoherenceProtocol
+from repro.protocols.directory.tang import Tang
+from repro.protocols.directory.dirnnb import DirnNB
+from repro.protocols.events import (
+    FIRST_REF_EVENTS,
+    READ_MISS_EVENTS,
+    WRITE_HIT_EVENTS,
+    WRITE_MISS_EVENTS,
+    Event,
+)
+from repro.protocols.registry import (
+    PAPER_CORE_SCHEMES,
+    PROTOCOLS,
+    create_protocol,
+    protocol_names,
+)
+from repro.interconnect.bus import BusOp
+from repro.trace.record import AccessType
+
+
+class TestRegistry:
+    def test_paper_core_schemes_registered(self):
+        for name in PAPER_CORE_SCHEMES:
+            assert name in PROTOCOLS
+
+    def test_create_by_name(self):
+        proto = create_protocol("dir0b", 4)
+        assert proto.name == "dir0b"
+        assert proto.n_caches == 4
+
+    def test_create_is_case_insensitive(self):
+        assert create_protocol("DIR0B", 4).name == "dir0b"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="dragon"):
+            create_protocol("nonesuch", 4)
+
+    def test_every_factory_builds_a_protocol(self):
+        for name in protocol_names():
+            proto = create_protocol(name, 4)
+            assert isinstance(proto, CoherenceProtocol)
+            assert proto.kind in ("directory", "snoopy", "software")
+            assert proto.label
+
+    def test_parameterised_variants(self):
+        assert create_protocol("dir2b", 8).pointers == 2
+        assert create_protocol("dir4nb", 8).pointers == 4
+
+    def test_names_are_sorted(self):
+        names = protocol_names()
+        assert names == sorted(names)
+
+
+class TestEventTaxonomy:
+    def test_event_sets_are_disjoint(self):
+        assert not (READ_MISS_EVENTS & WRITE_MISS_EVENTS)
+        assert not (WRITE_HIT_EVENTS & WRITE_MISS_EVENTS)
+        assert not (FIRST_REF_EVENTS & READ_MISS_EVENTS)
+
+    def test_read_write_predicates(self):
+        assert Event.RM_BLK_CLEAN.is_read
+        assert Event.WH_DISTRIB.is_write
+        assert not Event.INSTR.is_read and not Event.INSTR.is_write
+
+    def test_miss_predicate(self):
+        assert Event.RM_BLK_DIRTY.is_miss
+        assert Event.WM_UNCACHED.is_miss
+        assert not Event.READ_HIT.is_miss
+        assert not Event.RM_FIRST_REF.is_miss  # first refs counted separately
+
+    def test_first_ref_predicate(self):
+        assert Event.RM_FIRST_REF.is_first_ref
+        assert Event.WM_FIRST_REF.is_first_ref
+        assert not Event.RM_BLK_CLEAN.is_first_ref
+
+
+class TestBaseProtocol:
+    def test_rejects_nonpositive_cache_count(self):
+        with pytest.raises(ValueError):
+            create_protocol("dir0b", 0)
+
+    def test_outcome_op_count(self):
+        outcome = AccessOutcome(
+            event=Event.RM_BLK_CLEAN,
+            ops=((BusOp.MEM_ACCESS, 1), (BusOp.INVALIDATE, 3)),
+        )
+        assert outcome.op_count(BusOp.INVALIDATE) == 3
+        assert outcome.op_count(BusOp.WRITE_BACK) == 0
+
+    def test_overlapped_dir_check_alone_is_not_a_transaction(self):
+        outcome = AccessOutcome(
+            event=Event.READ_HIT, ops=((BusOp.DIR_CHECK_OVERLAPPED, 1),)
+        )
+        assert not outcome.used_bus
+
+    def test_any_real_op_is_a_transaction(self):
+        outcome = AccessOutcome(
+            event=Event.WRITE_HIT, ops=((BusOp.WRITE_THROUGH, 1),)
+        )
+        assert outcome.used_bus
+
+    def test_evict_clean_block_is_silent(self):
+        proto = create_protocol("dir0b", 4)
+        proto.access(0, AccessType.READ, 5)
+        assert proto.evict(0, 5) == ()
+        assert not proto.sharing.is_held(5, 0)
+
+    def test_evict_dirty_block_writes_back(self):
+        proto = create_protocol("dir0b", 4)
+        proto.access(0, AccessType.WRITE, 5)
+        ops = proto.evict(0, 5)
+        assert ops == ((BusOp.WRITE_BACK, 1),)
+
+    def test_evict_non_resident_is_noop(self):
+        proto = create_protocol("dir0b", 4)
+        assert proto.evict(0, 99) == ()
+
+    def test_seen_tracking(self):
+        proto = create_protocol("dragon", 4)
+        assert not proto.seen(5)
+        proto.access(1, AccessType.READ, 5)
+        assert proto.seen(5)
+
+
+class TestTang:
+    def test_behaves_like_full_map(self):
+        import random
+
+        rng = random.Random(121)
+        a, b = Tang(4), DirnNB(4)
+        for _ in range(3000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(20)
+            out_a, out_b = a.access(cache, access, block), b.access(
+                cache, access, block
+            )
+            assert out_a.event is out_b.event
+            assert out_a.ops == out_b.ops
+
+    def test_duplicate_directory_storage_model(self):
+        # 4 caches of 1024 direct-mapped 16-byte lines, 32-bit addresses:
+        # tag = 32 - 4 - 10 = 18 bits, +1 dirty bit per line.
+        bits = Tang.duplicate_directory_bits(
+            n_caches=4, cache_lines=1024, address_bits=32, block_size=16
+        )
+        assert bits == 4 * 1024 * 19
+
+    def test_storage_grows_with_cache_capacity_not_memory(self):
+        small = Tang.duplicate_directory_bits(4, cache_lines=256)
+        large = Tang.duplicate_directory_bits(4, cache_lines=1024)
+        assert large > small

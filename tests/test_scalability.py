@@ -1,0 +1,100 @@
+"""Unit tests for the Section 6 scalability analyses."""
+
+import pytest
+
+from conftest import trace_of
+from repro.analysis.scalability import (
+    broadcast_cost_line,
+    directory_storage_bits,
+    sweep_dirib,
+    sweep_dirinb,
+)
+from repro.core.simulator import simulate
+from repro.protocols.directory.dirib import Dir1B
+
+
+def _shared_trace():
+    return trace_of(
+        [(0, "r", 0), (1, "r", 0), (2, "r", 0), (0, "w", 0), (1, "r", 0)]
+        + [(1, "w", 0), (2, "r", 16), (3, "r", 16), (2, "w", 16)]
+    )
+
+
+def _factories():
+    trace = _shared_trace()
+    return {"T": lambda: iter(list(trace))}
+
+
+class TestBroadcastCostLine:
+    def test_line_reproduces_measured_cost_at_b_one(self):
+        from repro.interconnect.bus import pipelined_bus
+
+        result = simulate(Dir1B(4), _shared_trace())
+        line = broadcast_cost_line(result)
+        assert line.at(1) == pytest.approx(
+            result.cycles_per_reference(pipelined_bus())
+        )
+
+    def test_slope_is_broadcast_rate(self):
+        result = simulate(Dir1B(4), _shared_trace())
+        line = broadcast_cost_line(result)
+        assert line.slope > 0  # this trace forces broadcast-bit overflow
+        assert line.at(10) - line.at(0) == pytest.approx(10 * line.slope)
+
+    def test_negative_b_rejected(self):
+        result = simulate(Dir1B(4), _shared_trace())
+        with pytest.raises(ValueError):
+            broadcast_cost_line(result).at(-1)
+
+    def test_render(self):
+        result = simulate(Dir1B(4), _shared_trace())
+        assert "cycles/ref" in broadcast_cost_line(result).render()
+
+
+class TestPointerSweeps:
+    def test_dirib_broadcasts_fall_with_pointers(self):
+        points = sweep_dirib(_factories(), pointer_counts=(1, 2, 4))
+        broadcasts = [p.broadcasts_per_thousand_refs for p in points]
+        assert broadcasts == sorted(broadcasts, reverse=True)
+        assert broadcasts[-1] == 0.0  # 4 pointers track all 4 caches
+
+    def test_dirib_miss_rate_independent_of_pointers(self):
+        points = sweep_dirib(_factories(), pointer_counts=(1, 2, 4))
+        rates = {round(p.data_miss_rate, 9) for p in points}
+        assert len(rates) == 1  # DiriB never restricts copies
+
+    def test_dirinb_displacements_fall_with_pointers(self):
+        points = sweep_dirinb(_factories(), pointer_counts=(1, 2, 4))
+        displaced = [p.displacements_per_thousand_refs for p in points]
+        assert displaced == sorted(displaced, reverse=True)
+        assert displaced[-1] == 0.0
+
+    def test_dirinb_miss_rate_falls_with_pointers(self):
+        points = sweep_dirinb(_factories(), pointer_counts=(1, 4))
+        assert points[0].data_miss_rate >= points[1].data_miss_rate
+
+    def test_points_carry_storage_cost(self):
+        (point,) = sweep_dirib(_factories(), pointer_counts=(2,))
+        assert point.directory_bits_per_block == 6  # 2 ptrs x 2 bits + 2
+
+    def test_render(self):
+        (point,) = sweep_dirib(_factories(), pointer_counts=(1,))
+        assert "cyc/ref" in point.render()
+
+
+class TestStorageScaling:
+    def test_full_map_grows_linearly(self):
+        bits = directory_storage_bits((4, 1024))
+        assert bits["DirnNB (full map)"][1024] == 1025
+
+    def test_digit_code_is_two_log_n(self):
+        bits = directory_storage_bits((1024,))
+        assert bits["Digit code (coarse)"][1024] == 2 * 10 + 1
+
+    def test_dir0b_is_constant(self):
+        bits = directory_storage_bits((4, 1024))
+        assert bits["Dir0B"][4] == bits["Dir0B"][1024] == 2
+
+    def test_digit_code_beats_full_map_at_scale(self):
+        bits = directory_storage_bits((256,))
+        assert bits["Digit code (coarse)"][256] < bits["DirnNB (full map)"][256]

@@ -1,0 +1,92 @@
+"""Unit tests for the processor-count scaling sweeps (the paper's future work)."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    dirib_broadcast_scaling,
+    dirinb_miss_scaling,
+    fanout_scaling,
+    scale_profile_to_processors,
+)
+from repro.trace.synthetic import WorkloadProfile
+
+
+def base_profile(length=30_000):
+    return WorkloadProfile(
+        name="scaletest",
+        length=length,
+        seed=23,
+        w_lock=0.3,
+        n_locks=1,
+        lock_hold_turns=(8, 16),
+        w_migratory=0.6,
+        w_consume=0.4,
+        w_produce=0.3,
+    )
+
+
+class TestProfileScaling:
+    def test_processes_and_length_scale_together(self):
+        profile = scale_profile_to_processors(base_profile(), 8)
+        assert profile.processes == 8
+        assert profile.processors == 8
+        assert profile.length == 60_000
+
+    def test_downscaling_works_too(self):
+        profile = scale_profile_to_processors(base_profile(), 2)
+        assert profile.processes == 2
+        assert profile.length == 15_000
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_profile_to_processors(base_profile(), 0)
+
+
+class TestSweeps:
+    def test_fanout_sweep_structure(self):
+        points = fanout_scaling(base_profile(10_000), processor_counts=(4, 8))
+        assert [p.n_processors for p in points] == [4, 8]
+        for point in points:
+            assert 0 <= point.share_at_most_one_invalidation <= 1
+            assert point.cycles_per_reference > 0
+
+    def test_mean_fanout_grows_with_processors(self):
+        # More caches can hold a block, so the average invalidation touches
+        # at least as many copies on a bigger machine.
+        points = fanout_scaling(base_profile(40_000), processor_counts=(4, 16))
+        assert (
+            points[1].mean_invalidation_fanout
+            >= 0.8 * points[0].mean_invalidation_fanout
+        )
+
+    def test_dir1b_broadcasts_grow_with_processors(self):
+        points = dirib_broadcast_scaling(
+            base_profile(40_000), pointers=1, processor_counts=(4, 16)
+        )
+        assert (
+            points[1].broadcasts_per_thousand_refs
+            >= points[0].broadcasts_per_thousand_refs * 0.8
+        )
+
+    def test_more_pointers_damp_broadcast_growth(self):
+        wide = dirib_broadcast_scaling(
+            base_profile(30_000), pointers=4, processor_counts=(8,)
+        )[0]
+        narrow = dirib_broadcast_scaling(
+            base_profile(30_000), pointers=1, processor_counts=(8,)
+        )[0]
+        assert wide.broadcasts_per_thousand_refs <= narrow.broadcasts_per_thousand_refs
+
+    def test_dirinb_misses_fall_with_pointers_at_scale(self):
+        capped = dirinb_miss_scaling(
+            base_profile(30_000), pointers=1, processor_counts=(8,)
+        )[0]
+        roomy = dirinb_miss_scaling(
+            base_profile(30_000), pointers=4, processor_counts=(8,)
+        )[0]
+        assert roomy.data_miss_rate <= capped.data_miss_rate
+
+    def test_render(self):
+        (point,) = fanout_scaling(base_profile(5_000), processor_counts=(4,))
+        text = point.render()
+        assert "cyc/ref" in text and "fanout" in text

@@ -1,0 +1,81 @@
+"""Unit tests for the Section 5.1 overhead model."""
+
+import pytest
+
+from conftest import trace_of
+from repro.analysis.sensitivity import OverheadLine, overhead_lines, relative_gap
+from repro.core.comparison import run_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    trace = trace_of(
+        [(0, "r", 0), (1, "r", 0), (0, "w", 0), (1, "r", 0), (1, "w", 0)]
+        + [(2, "r", 16), (2, "w", 16), (3, "r", 16)]
+    )
+    factories = {"T": lambda: iter(list(trace))}
+    return run_comparison(("dir0b", "dragon"), factories, n_caches=4)
+
+
+class TestOverheadLine:
+    def test_at_zero_is_base(self):
+        line = OverheadLine(scheme="X", base=0.05, transactions_per_ref=0.01)
+        assert line.at(0) == 0.05
+
+    def test_linear_in_q(self):
+        line = OverheadLine(scheme="X", base=0.05, transactions_per_ref=0.01)
+        assert line.at(3) == pytest.approx(0.08)
+
+    def test_negative_q_rejected(self):
+        line = OverheadLine(scheme="X", base=0.05, transactions_per_ref=0.01)
+        with pytest.raises(ValueError):
+            line.at(-1)
+
+    def test_render(self):
+        line = OverheadLine(scheme="Dragon", base=0.0336, transactions_per_ref=0.0206)
+        assert "0.0336" in line.render()
+
+
+class TestOverheadLines:
+    def test_base_matches_average_cycles(self, comparison):
+        from repro.interconnect.bus import pipelined_bus
+
+        lines = overhead_lines(comparison)
+        assert lines["dir0b"].base == pytest.approx(
+            comparison.average_cycles("dir0b", pipelined_bus())
+        )
+
+    def test_slope_is_transaction_rate(self, comparison):
+        lines = overhead_lines(comparison)
+        assert lines["dragon"].transactions_per_ref == pytest.approx(
+            comparison.average_transactions_per_reference("dragon")
+        )
+
+
+class TestRelativeGap:
+    def test_paper_shape_gap_shrinks_with_q(self):
+        # Using the paper's own coefficients: 46% at q=0, ~12% at q=1.
+        lines = {
+            "dir0b": OverheadLine("Dir0B", 0.0491, 0.0114),
+            "dragon": OverheadLine("Dragon", 0.0336, 0.0206),
+        }
+        assert relative_gap(lines, q=0) == pytest.approx(46.1, abs=0.5)
+        assert relative_gap(lines, q=1) == pytest.approx(11.6, abs=0.5)
+
+    def test_gap_monotonically_shrinks_when_fast_scheme_has_more_transactions(
+        self,
+    ):
+        lines = {
+            "dir0b": OverheadLine("Dir0B", 0.05, 0.01),
+            "dragon": OverheadLine("Dragon", 0.03, 0.02),
+        }
+        gaps = [relative_gap(lines, q=q) for q in (0, 1, 2, 4)]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_zero_fast_cycles_rejected(self):
+        lines = {
+            "dir0b": OverheadLine("Dir0B", 0.05, 0.01),
+            "dragon": OverheadLine("Dragon", 0.0, 0.0),
+        }
+        with pytest.raises(ValueError):
+            relative_gap(lines, q=0)

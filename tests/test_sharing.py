@@ -1,0 +1,125 @@
+"""Unit tests for the system-wide sharing table."""
+
+import pytest
+
+from repro.memory.sharing import NO_OWNER, SharingTable, bit_count, iter_bits
+
+
+class TestBitHelpers:
+    def test_bit_count(self):
+        assert bit_count(0) == 0
+        assert bit_count(0b1011) == 3
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0b10101)) == [0, 2, 4]
+        assert list(iter_bits(0)) == []
+
+
+class TestHolders:
+    def test_initially_uncached(self):
+        table = SharingTable()
+        assert table.holders(5) == 0
+        assert not table.is_held(5, 0)
+        assert table.holder_count(5) == 0
+
+    def test_add_and_remove_holder(self):
+        table = SharingTable()
+        table.add_holder(5, 2)
+        assert table.is_held(5, 2)
+        table.remove_holder(5, 2)
+        assert not table.is_held(5, 2)
+        assert table.holders(5) == 0
+
+    def test_remote_holders_excludes_self(self):
+        table = SharingTable()
+        table.add_holder(5, 0)
+        table.add_holder(5, 3)
+        assert table.remote_holders(5, 0) == 0b1000
+        assert table.remote_holders(5, 3) == 0b0001
+
+    def test_add_holder_is_idempotent(self):
+        table = SharingTable()
+        table.add_holder(1, 1)
+        table.add_holder(1, 1)
+        assert table.holder_count(1) == 1
+
+    def test_set_only_holder_removes_others(self):
+        table = SharingTable()
+        for cache in range(4):
+            table.add_holder(9, cache)
+        table.set_only_holder(9, 2)
+        assert table.holders(9) == 0b0100
+
+    def test_blocks_held_by(self):
+        table = SharingTable()
+        table.add_holder(1, 0)
+        table.add_holder(2, 0)
+        table.add_holder(3, 1)
+        assert sorted(table.blocks_held_by(0)) == [1, 2]
+
+    def test_cached_blocks_iterates_live_entries(self):
+        table = SharingTable()
+        table.add_holder(1, 0)
+        table.add_holder(2, 1)
+        table.remove_holder(1, 0)
+        assert dict(table.cached_blocks()) == {2: 0b10}
+
+
+class TestDirtyTracking:
+    def test_set_dirty_requires_holding(self):
+        table = SharingTable()
+        with pytest.raises(ValueError, match="does not hold"):
+            table.set_dirty(4, 0)
+
+    def test_dirty_owner(self):
+        table = SharingTable()
+        table.add_holder(4, 1)
+        table.set_dirty(4, 1)
+        assert table.dirty_owner(4) == 1
+        assert table.is_dirty(4)
+        assert table.is_dirty_in(4, 1)
+        assert not table.is_dirty_in(4, 0)
+
+    def test_clear_dirty(self):
+        table = SharingTable()
+        table.add_holder(4, 1)
+        table.set_dirty(4, 1)
+        table.clear_dirty(4)
+        assert table.dirty_owner(4) == NO_OWNER
+        assert table.is_held(4, 1)  # still cached, just clean
+
+    def test_removing_dirty_owner_clears_dirty(self):
+        table = SharingTable()
+        table.add_holder(4, 1)
+        table.set_dirty(4, 1)
+        table.remove_holder(4, 1)
+        assert table.dirty_owner(4) == NO_OWNER
+
+    def test_set_only_holder_clears_foreign_dirty(self):
+        table = SharingTable()
+        table.add_holder(4, 0)
+        table.add_holder(4, 1)
+        table.set_dirty(4, 1)
+        table.set_only_holder(4, 0)
+        assert table.dirty_owner(4) == NO_OWNER
+
+    def test_set_only_holder_keeps_own_dirty(self):
+        table = SharingTable()
+        table.add_holder(4, 0)
+        table.set_dirty(4, 0)
+        table.set_only_holder(4, 0)
+        assert table.dirty_owner(4) == 0
+
+    def test_purge(self):
+        table = SharingTable()
+        table.add_holder(4, 0)
+        table.set_dirty(4, 0)
+        table.purge(4)
+        assert table.holders(4) == 0
+        assert table.dirty_owner(4) == NO_OWNER
+
+    def test_invariants_pass_on_consistent_state(self):
+        table = SharingTable()
+        table.add_holder(1, 0)
+        table.set_dirty(1, 0)
+        table.check_invariants()

@@ -1,0 +1,83 @@
+"""Unit tests for the software flush-based consistency scheme."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp, pipelined_bus
+from repro.protocols.directory.dir1nb import Dir1NB
+from repro.protocols.software_flush import SoftwareFlush
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+@pytest.fixture
+def proto():
+    return SoftwareFlush(4)
+
+
+class TestSingleCopySemantics:
+    def test_at_most_one_holder(self, proto):
+        rng = random.Random(3)
+        for _ in range(2000):
+            block = rng.randrange(20)
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                block,
+            )
+            assert proto.sharing.holder_count(block) <= 1
+
+    def test_no_hardware_invalidations_ever(self, proto):
+        rng = random.Random(5)
+        for _ in range(2000):
+            outcome = proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(20),
+            )
+            assert outcome.op_count(BusOp.INVALIDATE) == 0
+            assert outcome.op_count(BusOp.BROADCAST_INVALIDATE) == 0
+
+    def test_no_snarfing_dirty_handoff_costs_two_transactions(self, proto):
+        outcomes = run_ops(proto, [(1, "w", 5), (0, "r", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.RM_BLK_DIRTY
+        # Write-back through memory, then a fresh memory fetch: 4 + 5 = 9
+        # pipelined cycles (Dir1NB's hardware handoff takes 6).
+        assert dict(miss.ops) == {BusOp.WRITE_BACK: 1, BusOp.MEM_ACCESS: 1}
+
+    def test_events_match_dir1nb(self):
+        """The paper's claim: software flushing behaves like Dir1NB."""
+        rng = random.Random(9)
+        a, b = SoftwareFlush(4), Dir1NB(4)
+        for _ in range(3000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(25)
+            assert a.access(cache, access, block).event is b.access(
+                cache, access, block
+            ).event
+
+    def test_costs_at_least_dir1nb_under_spin_ping_pong(self):
+        """Software flushing is Dir1NB without snarfing: lock ping-pong is
+        at least as expensive."""
+        bus = pipelined_bus()
+        # Alternating read/write pattern on one hot block.
+        ops = []
+        rng = random.Random(13)
+        for _ in range(400):
+            ops.append((rng.randrange(2), rng.choice("rw"), 7))
+        soft_cost = sum(
+            sum(bus.cost_of(k) * n for k, n in outcome.ops)
+            for outcome in run_ops(SoftwareFlush(4), ops)
+        )
+        hw_cost = sum(
+            sum(bus.cost_of(k) * n for k, n in outcome.ops)
+            for outcome in run_ops(Dir1NB(4), ops)
+        )
+        assert soft_cost >= hw_cost
+
+    def test_no_directory_storage(self):
+        assert SoftwareFlush.directory_bits_per_block(1024) == 0

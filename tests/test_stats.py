@@ -1,0 +1,74 @@
+"""Unit tests for trace characterisation (Table 3)."""
+
+from conftest import record
+from repro.trace.stats import collect_stats, format_table3
+
+
+def _sample_trace():
+    return [
+        record(0, kind="i", address=1000),
+        record(0, kind="r", address=0),
+        record(1, kind="r", address=0),  # block 0 shared by pids 0 and 1
+        record(0, kind="w", address=16),
+        record(0, kind="r", address=32, spin=True),
+        record(1, kind="r", address=48, os=True),
+    ]
+
+
+class TestCollectStats:
+    def test_counts(self):
+        stats = collect_stats(_sample_trace(), name="sample")
+        assert stats.total == 6
+        assert stats.instructions == 1
+        assert stats.data_reads == 4
+        assert stats.data_writes == 1
+        assert stats.system == 1
+        assert stats.user == 5
+
+    def test_sharing_is_process_level(self):
+        stats = collect_stats(_sample_trace())
+        assert stats.distinct_blocks == 4
+        assert stats.shared_blocks == 1  # only block 0 touched by two pids
+
+    def test_lock_spin_fraction(self):
+        stats = collect_stats(_sample_trace())
+        assert stats.lock_spin_reads == 1
+        assert stats.lock_spin_fraction_of_reads == 0.25
+
+    def test_read_write_ratio(self):
+        stats = collect_stats(_sample_trace())
+        assert stats.read_write_ratio == 4.0
+
+    def test_read_write_ratio_without_writes_is_infinite(self):
+        stats = collect_stats([record(0, kind="r", address=0)])
+        assert stats.read_write_ratio == float("inf")
+
+    def test_os_fraction(self):
+        stats = collect_stats(_sample_trace())
+        assert abs(stats.os_fraction - 1 / 6) < 1e-12
+
+    def test_empty_trace(self):
+        stats = collect_stats([])
+        assert stats.total == 0
+        assert stats.os_fraction == 0.0
+        assert stats.lock_spin_fraction_of_reads == 0.0
+        assert stats.shared_block_fraction == 0.0
+
+    def test_thousands_view(self):
+        stats = collect_stats(_sample_trace(), name="T")
+        row = stats.thousands()
+        assert row["Trace"] == "T"
+        assert row["Refs"] == 6 / 1000.0
+
+    def test_processor_and_process_counts(self):
+        stats = collect_stats(_sample_trace())
+        assert stats.processes == 2
+        assert stats.processors == 2
+
+
+def test_format_table3_renders_all_rows():
+    stats = collect_stats(_sample_trace(), name="SAMPLE")
+    text = format_table3([stats])
+    assert "SAMPLE" in text
+    assert "Refs" in text
+    assert len(text.splitlines()) == 2

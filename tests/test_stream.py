@@ -1,0 +1,105 @@
+"""Unit tests for trace stream transforms."""
+
+import pytest
+
+from conftest import record
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import (
+    SharingModel,
+    count_sharing_units,
+    exclude_lock_spins,
+    exclude_os,
+    interleave,
+    map_to_sharing_units,
+    materialize,
+    take,
+)
+
+
+class TestSharingUnitMapping:
+    def test_process_model_keys_by_pid(self):
+        trace = [
+            record(cpu=0, pid=7, address=0),
+            record(cpu=1, pid=7, address=16),  # migrated: same process
+            record(cpu=0, pid=9, address=32),
+        ]
+        mapped = materialize(map_to_sharing_units(trace, SharingModel.PROCESS))
+        assert [r.cpu for r in mapped] == [0, 0, 1]
+
+    def test_processor_model_keys_by_cpu(self):
+        trace = [
+            record(cpu=2, pid=7, address=0),
+            record(cpu=2, pid=9, address=16),
+            record(cpu=5, pid=7, address=32),
+        ]
+        mapped = materialize(map_to_sharing_units(trace, SharingModel.PROCESSOR))
+        assert [r.cpu for r in mapped] == [0, 0, 1]
+
+    def test_indices_are_dense_and_first_come(self):
+        trace = [record(cpu=0, pid=p, address=0) for p in (42, 5, 42, 99)]
+        mapped = materialize(map_to_sharing_units(trace))
+        assert [r.cpu for r in mapped] == [0, 1, 0, 2]
+
+    def test_non_cpu_fields_preserved(self):
+        trace = [record(cpu=3, pid=8, kind="w", address=48, spin=False, os=True)]
+        (mapped,) = materialize(map_to_sharing_units(trace))
+        assert mapped.pid == 8
+        assert mapped.access is AccessType.WRITE
+        assert mapped.address == 48
+        assert mapped.is_os
+
+    def test_count_sharing_units(self):
+        trace = [record(cpu=c % 2, pid=c % 3, address=0) for c in range(12)]
+        assert count_sharing_units(trace, SharingModel.PROCESS) == 3
+        assert count_sharing_units(trace, SharingModel.PROCESSOR) == 2
+
+
+class TestFilters:
+    def test_exclude_lock_spins_drops_only_spins(self):
+        trace = [
+            record(address=0, spin=True),
+            record(address=16),
+            record(kind="w", address=0),
+        ]
+        kept = materialize(exclude_lock_spins(trace))
+        assert len(kept) == 2
+        assert all(not r.is_lock_spin for r in kept)
+
+    def test_exclude_os(self):
+        trace = [record(address=0, os=True), record(address=16)]
+        kept = materialize(exclude_os(trace))
+        assert len(kept) == 1 and not kept[0].is_os
+
+    def test_take(self):
+        trace = [record(address=16 * i) for i in range(10)]
+        assert len(materialize(take(trace, 3))) == 3
+
+    def test_take_rejects_negative(self):
+        with pytest.raises(ValueError):
+            take([], -1)
+
+
+class TestInterleave:
+    def _stream(self, cpu, n):
+        return [record(cpu=cpu, address=16 * i) for i in range(n)]
+
+    def test_preserves_program_order_per_stream(self):
+        streams = [self._stream(0, 5), self._stream(1, 5)]
+        merged = materialize(interleave(streams, iter([2, 2, 2, 2, 2])))
+        per_cpu = {0: [], 1: []}
+        for r in merged:
+            per_cpu[r.cpu].append(r.address)
+        assert per_cpu[0] == sorted(per_cpu[0])
+        assert per_cpu[1] == sorted(per_cpu[1])
+
+    def test_emits_every_record_exactly_once(self):
+        streams = [self._stream(0, 3), self._stream(1, 7), self._stream(2, 1)]
+        merged = materialize(interleave(streams, iter([3, 1, 4])))
+        assert len(merged) == 11
+
+    def test_exhausted_run_length_defaults_to_one(self):
+        streams = [self._stream(0, 4), self._stream(1, 4)]
+        merged = materialize(interleave(streams, iter([])))
+        assert len(merged) == 8
+        # With run length 1 the schedule strictly alternates.
+        assert [r.cpu for r in merged[:4]] == [0, 1, 0, 1]

@@ -1,0 +1,159 @@
+"""Unit tests for the synthetic workload engine."""
+
+import random
+
+import pytest
+
+from repro.trace.record import AccessType
+from repro.trace.synthetic import (
+    Region,
+    SyntheticWorkload,
+    WorkloadProfile,
+    generate_trace,
+)
+
+
+def small_profile(**overrides):
+    defaults = dict(name="test", length=5000, seed=7)
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+class TestRegion:
+    def test_block_addresses_are_block_aligned(self):
+        region = Region("r", base_block=10, n_blocks=4, block_size=16)
+        assert region.block_address(0) == 160
+        assert region.block_address(3) == 208
+
+    def test_out_of_range_index_raises(self):
+        region = Region("r", base_block=0, n_blocks=2, block_size=16)
+        with pytest.raises(IndexError):
+            region.block_address(2)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", base_block=0, n_blocks=0, block_size=16)
+
+    def test_random_block_address_stays_in_region(self):
+        region = Region("r", base_block=5, n_blocks=3, block_size=16)
+        rng = random.Random(0)
+        for _ in range(50):
+            address = region.random_block_address(rng)
+            assert 5 * 16 <= address < 8 * 16
+
+    def test_hot_block_address_prefers_hot_prefix(self):
+        region = Region("r", base_block=0, n_blocks=100, block_size=16)
+        rng = random.Random(0)
+        hot_hits = sum(
+            region.hot_block_address(rng, hot_fraction=0.1, hot_probability=0.9)
+            < 10 * 16
+            for _ in range(1000)
+        )
+        # ~0.9 + 0.1*0.1 ≈ 91% of accesses land in the hot 10%
+        assert hot_hits > 800
+
+
+class TestWorkloadProfile:
+    def test_scaled_shrinks_length_and_regions(self):
+        profile = small_profile(
+            length=10000, private_blocks_per_process=400
+        ).scaled(0.5)
+        assert profile.length == 5000
+        assert profile.private_blocks_per_process == 200
+
+    def test_scaled_keeps_lock_structure(self):
+        profile = small_profile(n_locks=3, guarded_blocks_per_lock=24).scaled(0.1)
+        assert profile.n_locks == 3
+        assert profile.guarded_blocks_per_lock == 24
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            small_profile().scaled(0)
+
+    def test_region_floor(self):
+        profile = small_profile(shared_readonly_blocks=100).scaled(0.001)
+        assert profile.shared_readonly_blocks >= 8
+
+
+class TestSyntheticWorkload:
+    def test_exact_length(self):
+        trace = list(generate_trace(small_profile(length=1234)))
+        assert len(trace) == 1234
+
+    def test_deterministic_for_seed(self):
+        a = list(generate_trace(small_profile(seed=11)))
+        b = list(generate_trace(small_profile(seed=11)))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(generate_trace(small_profile(seed=1)))
+        b = list(generate_trace(small_profile(seed=2)))
+        assert a != b
+
+    def test_cpu_and_pid_ranges(self):
+        profile = small_profile(processes=3, processors=2)
+        for rec in generate_trace(profile):
+            assert 0 <= rec.pid < 3
+            assert 0 <= rec.cpu < 2
+
+    def test_instruction_share_is_half(self):
+        trace = list(generate_trace(small_profile(length=20000)))
+        instr = sum(r.access is AccessType.INSTR for r in trace)
+        assert abs(instr / len(trace) - 0.5) < 0.01
+
+    def test_spins_marked_only_on_reads(self):
+        profile = small_profile(length=20000, w_lock=3.0, n_locks=1)
+        for rec in generate_trace(profile):
+            if rec.is_lock_spin:
+                assert rec.access is AccessType.READ
+
+    def test_lock_contention_produces_spins(self):
+        profile = small_profile(
+            length=40000, w_lock=2.0, n_locks=1, lock_hold_turns=(10, 20)
+        )
+        spins = sum(r.is_lock_spin for r in generate_trace(profile))
+        assert spins > 100
+
+    def test_os_records_marked(self):
+        profile = small_profile(length=20000, os_activity_fraction=0.3)
+        os_refs = sum(r.is_os for r in generate_trace(profile))
+        assert os_refs > 0
+
+    def test_addresses_nonzero_and_block_aligned(self):
+        for rec in generate_trace(small_profile(length=2000)):
+            assert rec.address > 0
+            assert rec.address % 16 == 0
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(small_profile(processes=0))
+
+    def test_single_process_workload_runs(self):
+        profile = small_profile(processes=1, processors=1, length=2000)
+        trace = list(generate_trace(profile))
+        assert len(trace) == 2000
+        assert all(r.pid == 0 for r in trace)
+
+    def test_zero_weight_activities_never_drawn(self):
+        profile = small_profile(
+            length=10000,
+            w_lock=0,
+            w_barrier=0,
+            w_migratory=0,
+            w_produce=0,
+            w_consume=0,
+            w_shared_read=0,
+            os_activity_fraction=0,
+        )
+        trace = list(generate_trace(profile))
+        assert not any(r.is_lock_spin for r in trace)
+        assert not any(r.is_os for r in trace)
+
+    def test_migration_changes_cpu_assignment(self):
+        profile = small_profile(
+            length=60000, migration_rate=0.05, processes=4, processors=4
+        )
+        cpus_per_pid = {}
+        for rec in generate_trace(profile):
+            cpus_per_pid.setdefault(rec.pid, set()).add(rec.cpu)
+        assert any(len(cpus) > 1 for cpus in cpus_per_pid.values())

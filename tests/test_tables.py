@@ -1,0 +1,125 @@
+"""Unit tests for the table builders (paper Tables 1-5)."""
+
+import pytest
+
+from conftest import trace_of
+from repro.analysis.tables import (
+    TABLE4_ROWS,
+    render_table1,
+    render_table2,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.core.comparison import run_comparison
+from repro.interconnect.bus import BusTiming, Table5Category, nonpipelined_bus
+from repro.trace.stats import collect_stats
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    trace = trace_of(
+        [(0, "i", 999)]
+        + [(0, "r", 0), (1, "r", 0), (0, "w", 0), (1, "r", 0), (2, "w", 16)]
+        + [(3, "r", 32), (3, "w", 32), (0, "r", 32)]
+    )
+    factories = {"T": lambda: iter(list(trace))}
+    return run_comparison(
+        ("dir1nb", "wti", "dir0b", "dragon"), factories, n_caches=4
+    )
+
+
+class TestTable1And2:
+    def test_table1_rows(self):
+        rows = table1(BusTiming())
+        assert rows["Transfer 1 data word"] == 1
+        assert len(rows) == 5
+
+    def test_render_table1(self):
+        text = render_table1()
+        assert "Wait for Memory" in text
+
+    def test_table2_columns(self):
+        rows = table2()
+        assert rows["Memory access"]["Pipelined Bus"] == 5
+        assert rows["Memory access"]["Non-Pipelined Bus"] == 7
+
+    def test_render_table2(self):
+        assert "Directory check" in render_table2()
+
+
+class TestTable3:
+    def test_rows_in_thousands(self):
+        trace = trace_of([(0, "r", 0)] * 2000)
+        stats = collect_stats(trace, name="X")
+        rows = table3([stats])
+        assert rows[0]["Refs"] == 2.0
+
+
+class TestTable4:
+    def test_all_rows_present(self, comparison):
+        result = table4(comparison)
+        assert set(result.values) == set(TABLE4_ROWS)
+
+    def test_read_rows_sum(self, comparison):
+        result = table4(comparison)
+        for scheme in result.schemes:
+            total = (
+                result.value("rd-hit", scheme)
+                + result.value("rd-miss(rm)", scheme)
+                + result.value("rm-first-ref", scheme)
+            )
+            assert total == pytest.approx(result.value("read", scheme))
+
+    def test_reads_and_writes_identical_across_schemes(self, comparison):
+        # The reference mix is a property of the trace, not the protocol.
+        result = table4(comparison)
+        reads = {result.value("read", s) for s in result.schemes}
+        assert len({round(r, 9) for r in reads}) == 1
+
+    def test_render_suppresses_paper_blanks(self, comparison):
+        text = table4(comparison).render()
+        lines = {
+            line.split()[0]: line for line in text.splitlines() if line.strip()
+        }
+        # The WTI column of rm-blk-cln is '-' in the paper.
+        assert "-" in lines["rm-blk-cln"]
+
+    def test_render_has_header_and_all_rows(self, comparison):
+        text = table4(comparison).render()
+        for row in TABLE4_ROWS:
+            assert row in text
+
+
+class TestTable5:
+    def test_cumulative_equals_average_cycles(self, comparison):
+        from repro.interconnect.bus import pipelined_bus
+
+        result = table5(comparison)
+        bus = pipelined_bus()
+        for scheme in result.schemes:
+            assert result.cumulative(scheme) == pytest.approx(
+                comparison.average_cycles(scheme, bus)
+            )
+
+    def test_wti_cycles_dominated_by_write_throughs(self, comparison):
+        result = table5(comparison)
+        wti = result.by_category["wti"]
+        assert wti[Table5Category.WT_OR_WUP] > 0
+
+    def test_dir1nb_never_pays_directory_cycles(self, comparison):
+        # "directory accesses can always be overlapped with memory accesses
+        # in Dir1NB" (Table 5 note).
+        result = table5(comparison)
+        assert result.by_category["dir1nb"][Table5Category.DIR_ACCESS] == 0
+
+    def test_alternate_bus_model(self, comparison):
+        result = table5(comparison, bus=nonpipelined_bus())
+        assert result.bus == "non-pipelined"
+
+    def test_render(self, comparison):
+        text = table5(comparison).render()
+        assert "cumulative" in text
+        assert "mem access" in text

@@ -1,0 +1,83 @@
+"""Tests for the calibrated POPS / THOR / PERO workload profiles."""
+
+import pytest
+
+from repro.trace import collect_stats
+from repro.trace.workloads import (
+    PAPER_TRACE_LENGTHS,
+    pero_profile,
+    pops_profile,
+    standard_profiles,
+    standard_trace,
+    standard_trace_names,
+    thor_profile,
+)
+
+#: Enough references for rate checks but fast to generate.
+_SCALE = 1.0 / 16.0
+
+
+class TestProfileConstruction:
+    def test_standard_names(self):
+        assert tuple(standard_trace_names()) == ("POPS", "THOR", "PERO")
+
+    def test_full_lengths_match_table3(self):
+        assert pops_profile(scale=1.0).length == PAPER_TRACE_LENGTHS["POPS"]
+        assert thor_profile(scale=1.0).length == PAPER_TRACE_LENGTHS["THOR"]
+        assert pero_profile(scale=1.0).length == PAPER_TRACE_LENGTHS["PERO"]
+
+    def test_four_processes_like_the_vax_8350(self):
+        for profile in standard_profiles():
+            assert profile.processes == 4
+            assert profile.processors == 4
+
+    def test_unknown_trace_name_raises(self):
+        with pytest.raises(KeyError, match="unknown trace"):
+            standard_trace("nonesuch")
+
+    def test_name_lookup_is_case_insensitive(self):
+        assert next(standard_trace("pops", scale=_SCALE)) is not None
+
+
+class TestCalibration:
+    """The paper's headline trace characteristics (Table 3 / Section 4.4)."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {
+            name: collect_stats(standard_trace(name, scale=_SCALE), name=name)
+            for name in standard_trace_names()
+        }
+
+    def test_instruction_share_near_half(self, stats):
+        for s in stats.values():
+            assert abs(s.instructions / s.total - 0.497) < 0.02
+
+    def test_read_write_mix(self, stats):
+        for s in stats.values():
+            assert 0.34 <= s.data_reads / s.total <= 0.45
+            assert 0.06 <= s.data_writes / s.total <= 0.14
+
+    def test_pops_and_thor_spin_heavily(self, stats):
+        # "Roughly one-third of all the reads correspond to reads due to
+        # spinning on a lock" (Section 4.4).
+        for name in ("POPS", "THOR"):
+            assert stats[name].lock_spin_fraction_of_reads > 0.15
+
+    def test_pero_barely_spins(self, stats):
+        assert stats["PERO"].lock_spin_fraction_of_reads < 0.05
+
+    def test_os_activity_near_ten_percent(self, stats):
+        for s in stats.values():
+            assert 0.04 <= s.os_fraction <= 0.16
+
+    def test_pero_shares_least(self, stats):
+        pero = stats["PERO"].shared_block_fraction
+        assert pero < stats["POPS"].shared_block_fraction
+        assert pero < stats["THOR"].shared_block_fraction
+
+    def test_read_ratio_is_high(self, stats):
+        # Both lock spinning (POPS/THOR) and the routing algorithm (PERO)
+        # give a larger-than-usual read-to-write ratio.
+        for s in stats.values():
+            assert s.read_write_ratio > 2.5

@@ -1,0 +1,84 @@
+"""Unit tests for Goodman's Write-Once protocol."""
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp, pipelined_bus
+from repro.protocols.snoopy.write_once import WriteOnce
+from repro.protocols.events import Event
+
+
+@pytest.fixture
+def proto():
+    return WriteOnce(4)
+
+
+class TestWriteOnceSemantics:
+    def test_first_write_is_written_through(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        first_write = outcomes[1]
+        assert first_write.event is Event.WH_BLK_CLEAN
+        assert dict(first_write.ops) == {BusOp.WRITE_THROUGH: 1}
+        assert not proto.sharing.is_dirty(5)  # reserved: memory consistent
+
+    def test_second_write_is_free_and_dirties(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5), (0, "w", 5)])
+        second_write = outcomes[2]
+        assert second_write.ops == ()
+        assert proto.sharing.is_dirty_in(5, 0)
+
+    def test_write_through_invalidates_snoopers(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        assert outcomes[2].invalidation_fanout == 1
+        assert not proto.sharing.is_held(5, 1)
+
+    def test_remote_read_cancels_reservation(self, proto):
+        # 0 reserves the block; 1 reads it; 0's next write must go through
+        # again (it is no longer known-sole).
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (0, "w", 5), (1, "r", 5), (0, "w", 5)]
+        )
+        final_write = outcomes[3]
+        assert dict(final_write.ops) == {BusOp.WRITE_THROUGH: 1}
+
+    def test_dirty_remote_read_updates_memory_too(self, proto):
+        outcomes = run_ops(
+            proto, [(0, "r", 5), (0, "w", 5), (0, "w", 5), (1, "r", 5)]
+        )
+        miss = outcomes[3]
+        assert miss.event is Event.RM_BLK_DIRTY
+        assert dict(miss.ops) == {BusOp.FLUSH_REQUEST: 1, BusOp.WRITE_BACK: 1}
+        assert not proto.sharing.is_dirty(5)  # Goodman: memory updated
+
+    def test_write_miss_claims_ownership(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert proto.sharing.is_dirty_in(5, 0)
+        assert not proto.sharing.is_held(5, 1)
+
+    def test_eviction_clears_reservation(self, proto):
+        run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        proto.evict(0, 5)
+        outcomes = run_ops(proto, [(0, "r", 5), (0, "w", 5)])
+        # The reservation did not survive the eviction: write-through again.
+        assert dict(outcomes[1].ops) == {BusOp.WRITE_THROUGH: 1}
+
+
+class TestWriteOnceCostPosition:
+    def test_cheaper_than_wti_on_write_runs(self):
+        """A run of writes costs one word under Write-Once, one word *per
+        write* under WTI."""
+        from repro.protocols.snoopy.wti import WTI
+
+        bus = pipelined_bus()
+        ops = [(0, "r", 5)] + [(0, "w", 5)] * 10
+        write_once_cost = sum(
+            sum(bus.cost_of(k) * n for k, n in outcome.ops)
+            for outcome in run_ops(WriteOnce(4), ops)
+        )
+        wti_cost = sum(
+            sum(bus.cost_of(k) * n for k, n in outcome.ops)
+            for outcome in run_ops(WTI(4), ops)
+        )
+        assert write_once_cost < wti_cost

@@ -1,0 +1,99 @@
+"""Unit tests for the WTI snoopy protocol."""
+
+import random
+
+import pytest
+
+from conftest import run_ops
+from repro.interconnect.bus import BusOp
+from repro.protocols.directory.dir0b import Dir0B
+from repro.protocols.snoopy.wti import WTI
+from repro.protocols.events import Event
+from repro.trace.record import AccessType
+
+
+@pytest.fixture
+def proto():
+    return WTI(4)
+
+
+class TestWriteThrough:
+    def test_every_write_goes_to_memory(self, proto):
+        outcomes = run_ops(proto, [(0, "w", 5), (0, "w", 5), (0, "w", 5)])
+        for outcome in outcomes:
+            assert outcome.op_count(BusOp.WRITE_THROUGH) == 1
+
+    def test_write_hit_invalidates_snoopers_for_free(self, proto):
+        outcomes = run_ops(proto, [(0, "r", 5), (1, "r", 5), (0, "w", 5)])
+        hit = outcomes[2]
+        assert hit.event is Event.WRITE_HIT
+        assert dict(hit.ops) == {BusOp.WRITE_THROUGH: 1}
+        assert hit.invalidation_fanout == 1
+        assert not proto.sharing.is_held(5, 1)
+
+    def test_no_block_is_ever_dirty(self, proto):
+        rng = random.Random(13)
+        for _ in range(3000):
+            proto.access(
+                rng.randrange(4),
+                rng.choice((AccessType.READ, AccessType.WRITE)),
+                rng.randrange(25),
+            )
+            for block in range(25):
+                assert not proto.sharing.is_dirty(block)
+
+    def test_write_miss_allocates_after_fetch(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "w", 5)])
+        miss = outcomes[1]
+        assert miss.event is Event.WM_BLK_CLEAN
+        assert dict(miss.ops) == {BusOp.MEM_ACCESS: 1, BusOp.WRITE_THROUGH: 1}
+        assert proto.sharing.is_held(5, 0)
+
+    def test_first_ref_write_still_pays_the_write_through(self, proto):
+        # The block fetch is excluded (first reference) but WTI policy sends
+        # the written word to memory regardless.
+        (outcome,) = run_ops(proto, [(0, "w", 5)])
+        assert outcome.event is Event.WM_FIRST_REF
+        assert dict(outcome.ops) == {BusOp.WRITE_THROUGH: 1}
+
+    def test_reads_always_served_by_memory(self, proto):
+        outcomes = run_ops(proto, [(1, "r", 5), (0, "r", 5)])
+        assert dict(outcomes[1].ops) == {BusOp.MEM_ACCESS: 1}
+
+
+class TestEventEquivalenceWithDir0B:
+    """Same state-change model: read events match Dir0B exactly."""
+
+    def test_read_events_match(self):
+        rng = random.Random(61)
+        a, b = WTI(4), Dir0B(4)
+        for _ in range(5000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(30)
+            out_a, out_b = a.access(cache, access, block), b.access(
+                cache, access, block
+            )
+            if access is AccessType.READ:
+                # WTI has no dirty blocks, so its dirty-remote misses appear
+                # as clean-remote; hit/miss classification is identical.
+                assert out_a.event.is_miss == out_b.event.is_miss
+                assert (out_a.event is Event.READ_HIT) == (
+                    out_b.event is Event.READ_HIT
+                )
+
+    def test_read_miss_rates_match_dir0b(self):
+        rng = random.Random(67)
+        a, b = WTI(4), Dir0B(4)
+        misses_a = misses_b = 0
+        for _ in range(6000):
+            cache = rng.randrange(4)
+            access = rng.choice((AccessType.READ, AccessType.WRITE))
+            block = rng.randrange(30)
+            out_a, out_b = a.access(cache, access, block), b.access(
+                cache, access, block
+            )
+            if access is AccessType.READ:
+                misses_a += out_a.event.is_miss
+                misses_b += out_b.event.is_miss
+        assert misses_a == misses_b

@@ -1,0 +1,75 @@
+"""Calibration diagnostic: compare synthetic-trace event rates to Table 4.
+
+Run:  python tools/calibrate.py [scale_denominator]
+"""
+
+import sys
+import time
+
+from repro.core import run_standard_comparison
+from repro.interconnect import nonpipelined_bus, pipelined_bus
+from repro.trace import collect_stats, standard_trace, standard_trace_names
+
+PAPER_TABLE4 = {
+    # (dir1nb, wti, dir0b, dragon) percentages, None where the paper has '-'
+    "instr": (49.72, 49.72, 49.72, 49.72),
+    "read": (39.82, 39.82, 39.82, 39.82),
+    "rd-hit": (34.32, 38.88, 38.88, 39.20),
+    "rd-miss(rm)": (5.18, 0.62, 0.62, 0.30),
+    "rm-blk-cln": (4.78, None, 0.23, 0.14),
+    "rm-blk-drty": (0.40, None, 0.40, 0.17),
+    "rm-first-ref": (0.32, 0.32, 0.32, 0.32),
+    "write": (10.46, 10.46, 10.46, 10.46),
+    "wrt-hit(wh)": (10.19, 10.25, 10.25, 10.36),
+    "wh-blk-cln": (None, None, 0.41, None),
+    "wh-blk-drty": (None, None, 9.84, None),
+    "wh-distrib": (None, None, None, 1.74),
+    "wh-local": (None, None, None, 8.62),
+    "wrt-miss(wm)": (0.17, 0.12, 0.11, 0.02),
+    "wm-blk-cln": (0.08, None, 0.02, 0.01),
+    "wm-blk-drty": (0.09, None, 0.09, 0.01),
+    "wm-first-ref": (0.08, 0.08, 0.08, 0.08),
+}
+PAPER_CYCLES = {"dir1nb": 0.3210, "wti": 0.1466, "dir0b": 0.0491, "dragon": 0.0336}
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
+
+
+def main():
+    denom = float(sys.argv[1]) if len(sys.argv) > 1 else 32.0
+    scale = 1.0 / denom
+    t0 = time.time()
+    for name in standard_trace_names():
+        stats = collect_stats(standard_trace(name, scale=scale), name=name)
+        print(
+            f"{name}: refs={stats.total} instr={stats.instructions/stats.total:.3f} "
+            f"rd={stats.data_reads/stats.total:.3f} wr={stats.data_writes/stats.total:.3f} "
+            f"spin/rd={stats.lock_spin_fraction_of_reads:.3f} os={stats.os_fraction:.3f} "
+            f"blocks={stats.distinct_blocks} shared={stats.shared_blocks}"
+        )
+    cmp = run_standard_comparison(SCHEMES, scale=scale)
+    print(f"\n[{time.time()-t0:.1f}s] Table 4 (measured | paper):")
+    header = "".join(f"{s:>22}" for s in SCHEMES)
+    print(f"{'event':<14}{header}")
+    for key, paper in PAPER_TABLE4.items():
+        cells = []
+        for i, s in enumerate(SCHEMES):
+            measured = cmp.average_event_percent(s, key)
+            target = f"{paper[i]:.2f}" if paper[i] is not None else "  -  "
+            cells.append(f"{measured:>10.2f} |{target:>8}")
+        print(f"{key:<14}" + "".join(f"{c:>22}" for c in cells))
+    pb, nb = pipelined_bus(), nonpipelined_bus()
+    print("\ncycles/ref (pipelined, measured | paper):")
+    for s in SCHEMES:
+        print(
+            f"  {s:<8} {cmp.average_cycles(s, pb):.4f} | {PAPER_CYCLES[s]:.4f}"
+            f"   (non-pipelined {cmp.average_cycles(s, nb):.4f})"
+        )
+    hist = cmp.pooled_invalidation_histogram("dir0b")
+    print(
+        "\nFigure 1 fanout %:", [round(x, 1) for x in hist.percentages()],
+        " <=1 share:", round(hist.share_at_most(1), 3),
+    )
+
+
+if __name__ == "__main__":
+    main()
