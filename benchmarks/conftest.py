@@ -8,6 +8,10 @@ that turns raw counts into the paper's presentation.
 
 Set ``REPRO_BENCH_SCALE`` (default 16) to trade trace length for runtime:
 the simulated traces are ``1/scale`` of the paper's ~3.2M references each.
+The session comparison goes through the sweep runner, so
+``REPRO_BENCH_JOBS`` fans it across worker processes and
+``REPRO_BENCH_CACHE`` (a directory path) serves repeated bench sessions
+from the on-disk result cache — results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -17,13 +21,19 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import run_standard_comparison
 from repro.interconnect import nonpipelined_bus, pipelined_bus
+from repro.runner import ResultCache, run_sweep, sweep_grid
 from repro.trace import standard_trace, standard_trace_names
 
 #: Denominator applied to the paper's trace lengths.
 BENCH_SCALE_DENOMINATOR = float(os.environ.get("REPRO_BENCH_SCALE", "16"))
 SCALE = 1.0 / BENCH_SCALE_DENOMINATOR
+
+#: Worker processes for the session sweep (1 = in-process serial).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Optional result-cache directory reused across bench sessions.
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE")
 
 #: All schemes any benchmark needs, simulated once.
 BENCH_SCHEMES = (
@@ -53,7 +63,9 @@ PAPER_CYCLES_PIPELINED = {
 @pytest.fixture(scope="session")
 def comparison():
     """The full cross product: every bench scheme over POPS/THOR/PERO."""
-    return run_standard_comparison(BENCH_SCHEMES, scale=SCALE)
+    specs = sweep_grid(BENCH_SCHEMES, scale=SCALE)
+    cache = ResultCache(BENCH_CACHE_DIR) if BENCH_CACHE_DIR else None
+    return run_sweep(specs, jobs=BENCH_JOBS, cache=cache).comparison()
 
 
 @pytest.fixture(scope="session")

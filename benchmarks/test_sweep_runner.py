@@ -1,0 +1,97 @@
+"""Sweep-runner performance: serial vs parallel throughput, cache latency.
+
+Not a paper experiment — a perf benchmark of the :mod:`repro.runner`
+subsystem so later PRs have a trajectory to compare against.  Beyond the
+human-readable artifact, it emits machine-readable
+``benchmarks/results/BENCH_sweep.json`` with refs/sec for the serial and
+parallel paths and the warm-cache replay latency.
+
+Parallel speedup depends on the machine: on a single hardware thread the
+worker pool only adds overhead, which is itself worth tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, SCALE
+
+from repro.runner import ResultCache, run_sweep, sweep_grid
+
+#: A grid small enough to run three times (serial, parallel, cached).
+SWEEP_SCHEMES = ("dir0b", "dragon")
+SWEEP_JOBS = int(os.environ.get("REPRO_BENCH_SWEEP_JOBS", "2"))
+
+
+def test_sweep_throughput_and_cache_latency(tmp_path_factory, save_result):
+    specs = sweep_grid(SWEEP_SCHEMES, scale=SCALE)
+
+    serial = run_sweep(specs, jobs=1)
+    parallel = run_sweep(specs, jobs=SWEEP_JOBS)
+    assert serial.cell_table() == parallel.cell_table()
+
+    cache = ResultCache(tmp_path_factory.mktemp("sweep-cache"))
+    cold = run_sweep(specs, jobs=1, cache=cache)
+    start = time.perf_counter()
+    warm = run_sweep(specs, jobs=1, cache=cache)
+    warm_wall = time.perf_counter() - start
+    assert warm.simulations == 0
+    assert warm.cell_table() == serial.cell_table()
+
+    payload = {
+        "grid": {
+            "schemes": list(SWEEP_SCHEMES),
+            "traces": sorted({spec.trace for spec in specs}),
+            "cells": len(specs),
+            "scale_denominator": round(1.0 / SCALE),
+            "references": serial.total_references,
+        },
+        "serial": {
+            "wall_s": serial.wall_time,
+            "refs_per_sec": serial.refs_per_sec,
+        },
+        "parallel": {
+            "jobs": SWEEP_JOBS,
+            "wall_s": parallel.wall_time,
+            "refs_per_sec": parallel.refs_per_sec,
+            "speedup": (
+                serial.wall_time / parallel.wall_time
+                if parallel.wall_time > 0
+                else 0.0
+            ),
+            "workers": len(parallel.worker_timings()),
+        },
+        "cache": {
+            "cold_wall_s": cold.wall_time,
+            "warm_wall_s": warm_wall,
+            "hits": warm.cache_hits,
+            "hit_latency_s_per_cell": (
+                warm_wall / warm.cells if warm.cells else 0.0
+            ),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    save_result(
+        "sweep_runner",
+        "\n".join(
+            [
+                "Sweep runner throughput "
+                f"({len(specs)} cells, {serial.total_references:,} refs)",
+                f"serial:   {serial.wall_time:8.2f}s  "
+                f"{serial.refs_per_sec:12,.0f} refs/sec",
+                f"parallel: {parallel.wall_time:8.2f}s  "
+                f"{parallel.refs_per_sec:12,.0f} refs/sec  "
+                f"(jobs={SWEEP_JOBS}, "
+                f"speedup {payload['parallel']['speedup']:.2f}x)",
+                f"cache:    {warm_wall:8.2f}s warm replay  "
+                f"({payload['cache']['hit_latency_s_per_cell'] * 1e3:.1f} "
+                "ms/cell)",
+            ]
+        ),
+    )

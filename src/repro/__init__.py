@@ -48,7 +48,16 @@ from .core import (
     run_comparison,
     run_standard_comparison,
     simulate,
+    simulate_chunks,
     simulate_finite,
+)
+from .runner import (
+    ResultCache,
+    RunOutcome,
+    RunSpec,
+    SweepReport,
+    run_sweep,
+    sweep_grid,
 )
 from .interconnect import (
     BusCostModel,
@@ -121,7 +130,14 @@ __all__ = [
     "run_comparison",
     "run_standard_comparison",
     "simulate",
+    "simulate_chunks",
     "simulate_finite",
+    "ResultCache",
+    "RunOutcome",
+    "RunSpec",
+    "SweepReport",
+    "run_sweep",
+    "sweep_grid",
     "BusCostModel",
     "BusOp",
     "BusTiming",

@@ -3,6 +3,7 @@
 Subcommands::
 
     repro-coherence compare  [--schemes ...] [--scale N] [--bus ...]
+    repro-coherence sweep    [--schemes ...] [--traces ...] [--block-sizes ...]
     repro-coherence table4   [--scale N]
     repro-coherence table5   [--scale N]
     repro-coherence figure1  [--scale N]
@@ -16,7 +17,11 @@ Subcommands::
     repro-coherence export-trace NAME FILE [--scale N] [--format text|binary]
 
 ``--scale`` is the denominator applied to the paper's trace lengths
-(``--scale 16`` simulates 1/16 of ~3.2M references per trace).
+(``--scale 16`` simulates 1/16 of ~3.2M references per trace).  ``--jobs``
+fans simulations across worker processes and ``--cache-dir`` enables the
+on-disk result cache; both apply to ``sweep`` and to the table/figure
+commands, always with bit-identical results to the serial path.  Sweep
+tables go to stdout; progress and throughput/cache metrics go to stderr.
 """
 
 from __future__ import annotations
@@ -36,7 +41,8 @@ from .analysis import (
 from .core import run_standard_comparison
 from .interconnect import nonpipelined_bus, pipelined_bus
 from .protocols import PAPER_CORE_SCHEMES, protocol_names
-from .trace import collect_stats, standard_trace, standard_trace_names
+from .runner import ResultCache, run_sweep, sweep_grid
+from .trace import SharingModel, collect_stats, standard_trace, standard_trace_names
 from .trace.atum import write_binary, write_text
 from .trace.stats import format_table3
 
@@ -60,6 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="simulate 1/N of the paper's trace lengths (default 16)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate sweep cells across N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="serve repeated simulations from an on-disk result cache",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser("compare", help="bus cycles per reference per scheme")
@@ -70,6 +89,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=protocol_names(),
         metavar="SCHEME",
         help=f"schemes to compare (choices: {', '.join(protocol_names())})",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel sweep over a protocol x trace x config grid"
+    )
+    sweep.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(PAPER_CORE_SCHEMES),
+        choices=protocol_names(),
+        metavar="SCHEME",
+        help=f"schemes to sweep (choices: {', '.join(protocol_names())})",
+    )
+    sweep.add_argument(
+        "--traces",
+        nargs="+",
+        default=list(standard_trace_names()),
+        choices=list(standard_trace_names()),
+        metavar="TRACE",
+    )
+    sweep.add_argument(
+        "--block-sizes",
+        nargs="+",
+        type=int,
+        default=[16],
+        metavar="BYTES",
+        help="block sizes to sweep (default: the paper's 16)",
+    )
+    sweep.add_argument(
+        "--sharing",
+        nargs="+",
+        choices=[model.value for model in SharingModel],
+        default=[SharingModel.PROCESS.value],
+        help="sharing models to sweep (default: process)",
+    )
+    sweep.add_argument(
+        "--n-caches", type=int, default=4, help="caches per system (default 4)"
     )
 
     sub.add_parser("table4", help="event frequencies (paper Table 4)")
@@ -122,8 +178,24 @@ def _scale(args: argparse.Namespace) -> float:
     return 1.0 / args.scale
 
 
+def _jobs(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    return args.jobs
+
+
+def _comparison(args: argparse.Namespace, schemes=PAPER_CORE_SCHEMES):
+    """Run the standard grid through the sweep runner (jobs/cache honoured)."""
+    return run_standard_comparison(
+        tuple(schemes),
+        scale=_scale(args),
+        jobs=_jobs(args),
+        cache_dir=args.cache_dir,
+    )
+
+
 def _cmd_compare(args: argparse.Namespace) -> None:
-    comparison = run_standard_comparison(tuple(args.schemes), scale=_scale(args))
+    comparison = _comparison(args, args.schemes)
     pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
     bars = figure2(comparison)
     print(bars.render())
@@ -137,18 +209,54 @@ def _cmd_compare(args: argparse.Namespace) -> None:
 
 
 def _cmd_table4(args: argparse.Namespace) -> None:
-    comparison = run_standard_comparison(scale=_scale(args))
-    print(table4(comparison).render())
+    print(table4(_comparison(args)).render())
 
 
 def _cmd_table5(args: argparse.Namespace) -> None:
-    comparison = run_standard_comparison(scale=_scale(args))
-    print(table5(comparison).render())
+    print(table5(_comparison(args)).render())
 
 
 def _cmd_figure1(args: argparse.Namespace) -> None:
-    comparison = run_standard_comparison(("dir0b",), scale=_scale(args))
-    print(figure1(comparison).render())
+    print(figure1(_comparison(args, ("dir0b",))).render())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    try:
+        specs = sweep_grid(
+            tuple(args.schemes),
+            traces=tuple(args.traces),
+            scale=_scale(args),
+            n_caches=args.n_caches,
+            block_sizes=tuple(args.block_sizes),
+            sharing_models=tuple(SharingModel(value) for value in args.sharing),
+        )
+    except ValueError as error:
+        raise SystemExit(f"sweep: {error}") from error
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    done = 0
+
+    def progress(outcome) -> None:
+        nonlocal done
+        done += 1
+        source = "cache" if outcome.cached else f"{outcome.elapsed:.2f}s"
+        print(
+            f"[{done}/{len(specs)}] {outcome.spec.protocol} "
+            f"{outcome.spec.trace} b{outcome.spec.block_size} ({source})",
+            file=sys.stderr,
+        )
+
+    report = run_sweep(specs, jobs=_jobs(args), cache=cache, progress=progress)
+    print(report.cell_table())
+    try:
+        comparison = report.comparison()
+    except ValueError:
+        pass  # grid has extra axes; the cell table is the whole story
+    else:
+        print()
+        print(table4(comparison).render())
+        print()
+        print(table5(comparison).render())
+    print(report.render_metrics(), file=sys.stderr)
 
 
 def _cmd_spinlock(args: argparse.Namespace) -> None:
@@ -206,6 +314,8 @@ def _cmd_modelcheck(args: argparse.Namespace) -> None:
     from .core import model_check
     from .protocols import create_protocol
 
+    if args.caches < 1 or args.blocks < 1 or args.depth < 1:
+        raise SystemExit("modelcheck: --caches, --blocks and --depth must be >= 1")
     report = model_check(
         lambda n: create_protocol(args.scheme, n),
         n_caches=args.caches,
@@ -240,12 +350,16 @@ def _cmd_timed(args: argparse.Namespace) -> None:
 def _cmd_export_trace(args: argparse.Namespace) -> None:
     trace = standard_trace(args.trace, scale=_scale(args))
     writer = write_text if args.format == "text" else write_binary
-    count = writer(args.path, trace)
+    try:
+        count = writer(args.path, trace)
+    except OSError as error:
+        raise SystemExit(f"export-trace: cannot write {args.path}: {error}")
     print(f"wrote {count} records to {args.path} ({args.format} format)")
 
 
 _COMMANDS = {
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "table4": _cmd_table4,
     "table5": _cmd_table5,
     "figure1": _cmd_figure1,

@@ -17,7 +17,7 @@ from .metrics import (
     decompose_miss_rate,
     effective_processors,
 )
-from .simulator import SimulationResult, simulate
+from .simulator import SimulationResult, simulate, simulate_chunks
 
 __all__ = [
     "ComparisonResult",
@@ -41,4 +41,5 @@ __all__ = [
     "effective_processors",
     "SimulationResult",
     "simulate",
+    "simulate_chunks",
 ]

@@ -142,8 +142,23 @@ def run_standard_comparison(
     protocol_names: Sequence[str] = PAPER_CORE_SCHEMES,
     scale: float = DEFAULT_SCALE,
     n_caches: int = 4,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ComparisonResult:
-    """The paper's evaluation: the named schemes over POPS, THOR and PERO."""
+    """The paper's evaluation: the named schemes over POPS, THOR and PERO.
+
+    ``jobs`` fans the (protocol, trace) grid across worker processes and
+    ``cache_dir`` serves repeat cells from the on-disk result cache — both
+    via :mod:`repro.runner`, with results bit-identical to the serial path.
+    """
+    if jobs != 1 or cache_dir is not None:
+        from ..runner.cache import ResultCache
+        from ..runner.spec import sweep_grid
+        from ..runner.sweep import run_sweep
+
+        specs = sweep_grid(protocol_names, scale=scale, n_caches=n_caches)
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        return run_sweep(specs, jobs=jobs, cache=cache).comparison()
     factories: Dict[str, TraceFactory] = {
         name: (lambda name=name: standard_trace(name, scale=scale))
         for name in standard_trace_names()

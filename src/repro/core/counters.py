@@ -29,18 +29,42 @@ class SimulationCounters:
         self.fanout = InvalidationHistogram()
 
     def record(self, outcome: AccessOutcome) -> None:
-        """Tally one reference's outcome."""
+        """Tally one reference's outcome.
+
+        A reference counts as a bus *transaction* exactly when
+        ``outcome.used_bus`` holds — i.e. it carried at least one
+        non-overlapped bus operation with a positive count.  Outcomes whose
+        op list is empty, all-zero-count, or overlapped-only are free and
+        must not inflate the Section 5.1 transaction rate.
+        """
         events = self.events
         events[outcome.event] = events.get(outcome.event, 0) + 1
         ops = self.ops
         ops.references += 1
-        if outcome.ops:
-            for op, count in outcome.ops:
-                ops.add(op, count)
-            if outcome.used_bus:
-                ops.transactions += 1
+        for op, count in outcome.ops:
+            ops.add(op, count)
+        if outcome.used_bus:
+            ops.transactions += 1
         if outcome.invalidation_fanout is not None:
             self.fanout.record(outcome.invalidation_fanout)
+
+    def merge(self, other: "SimulationCounters") -> "SimulationCounters":
+        """Fold another run's tallies into this one, exactly.
+
+        Every field is a pure sum, so merging per-chunk counters from a
+        sharded trace reproduces the single-run totals bit-for-bit (the
+        property the runner's sharding relies on).  Returns ``self`` so
+        merges chain.
+        """
+        events = self.events
+        for event, count in other.events.items():
+            events[event] = events.get(event, 0) + count
+        self.ops.merge(other.ops)
+        self.fanout.merge(other.fanout)
+        return self
+
+    def __iadd__(self, other: "SimulationCounters") -> "SimulationCounters":
+        return self.merge(other)
 
     @property
     def references(self) -> int:

@@ -27,9 +27,13 @@ class InvalidationHistogram:
             raise ValueError(f"fanout must be non-negative, got {fanout}")
         self._counts[fanout] = self._counts.get(fanout, 0) + 1
 
-    def merge(self, other: "InvalidationHistogram") -> None:
+    def merge(self, other: "InvalidationHistogram") -> "InvalidationHistogram":
         for fanout, count in other._counts.items():
             self._counts[fanout] = self._counts.get(fanout, 0) + count
+        return self
+
+    def __iadd__(self, other: "InvalidationHistogram") -> "InvalidationHistogram":
+        return self.merge(other)
 
     @property
     def total(self) -> int:

@@ -15,7 +15,7 @@ CPU instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from ..interconnect.bus import BusCostModel
 from ..interconnect.costs import CostSummary, summarize_costs
@@ -25,7 +25,7 @@ from ..trace.stream import SharingModel
 from .counters import EventFrequencies, SimulationCounters
 from .invalidation import InvalidationHistogram
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = ["SimulationResult", "simulate", "simulate_chunks"]
 
 
 @dataclass(frozen=True)
@@ -90,11 +90,99 @@ def simulate(
     if block_size <= 0:
         raise ValueError(f"block_size must be positive, got {block_size}")
     counters = SimulationCounters()
+    _feed(
+        protocol,
+        trace,
+        counters,
+        {},
+        by_process=sharing_model is SharingModel.PROCESS,
+        block_size=block_size,
+        check_invariants_every=check_invariants_every,
+    )
+    return SimulationResult(
+        protocol_name=protocol.name,
+        protocol_label=protocol.label,
+        trace_name=trace_name,
+        counters=counters,
+        n_caches=protocol.n_caches,
+        block_size=block_size,
+        sharing_model=sharing_model,
+    )
+
+
+def simulate_chunks(
+    protocol: CoherenceProtocol,
+    chunks: Iterable[Iterable[TraceRecord]],
+    trace_name: str = "trace",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    sharing_model: SharingModel = SharingModel.PROCESS,
+    check_invariants_every: int = 0,
+    chunk_done: Optional[Callable[[SimulationCounters], None]] = None,
+) -> SimulationResult:
+    """Simulate a trace supplied as consecutive chunks, merging exactly.
+
+    The sharding invariant: chunk boundaries affect only how *counts* are
+    accumulated, never the protocol's state machine.  Protocol state (and
+    the sharing-unit registry) is threaded through the chunks in order,
+    each chunk tallies into a fresh :class:`SimulationCounters`, and the
+    per-chunk counters are merged — so the result is bit-identical to one
+    :func:`simulate` over the concatenated trace.  ``chunk_done``, when
+    given, receives each chunk's own counters as it completes (checkpoint
+    and progress hook for the runner).
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    merged = SimulationCounters()
     units: Dict[int, int] = {}
     by_process = sharing_model is SharingModel.PROCESS
+    processed = 0
+    for chunk in chunks:
+        counters = SimulationCounters()
+        processed = _feed(
+            protocol,
+            chunk,
+            counters,
+            units,
+            by_process=by_process,
+            block_size=block_size,
+            check_invariants_every=check_invariants_every,
+            processed_offset=processed,
+        )
+        merged.merge(counters)
+        if chunk_done is not None:
+            chunk_done(counters)
+    return SimulationResult(
+        protocol_name=protocol.name,
+        protocol_label=protocol.label,
+        trace_name=trace_name,
+        counters=merged,
+        n_caches=protocol.n_caches,
+        block_size=block_size,
+        sharing_model=sharing_model,
+    )
+
+
+def _feed(
+    protocol: CoherenceProtocol,
+    trace: Iterable[TraceRecord],
+    counters: SimulationCounters,
+    units: Dict[int, int],
+    *,
+    by_process: bool,
+    block_size: int,
+    check_invariants_every: int,
+    processed_offset: int = 0,
+) -> int:
+    """Feed ``trace`` through ``protocol``, tallying into ``counters``.
+
+    ``units`` is the sharing-unit registry, owned by the caller so that a
+    chunked run assigns the same dense cache indices as a single-pass run.
+    Returns the running reference count (offset included) so the
+    invariant-check cadence is also split-point independent.
+    """
     access = protocol.access
     record_outcome = counters.record
-    processed = 0
+    processed = processed_offset
     for record in trace:
         key = record.pid if by_process else record.cpu
         unit = units.get(key)
@@ -111,12 +199,4 @@ def simulate(
         processed += 1
         if check_invariants_every and processed % check_invariants_every == 0:
             protocol.sharing.check_invariants()
-    return SimulationResult(
-        protocol_name=protocol.name,
-        protocol_label=protocol.label,
-        trace_name=trace_name,
-        counters=counters,
-        n_caches=protocol.n_caches,
-        block_size=block_size,
-        sharing_model=sharing_model,
-    )
+    return processed

@@ -1,0 +1,31 @@
+"""Parallel sweep runner: grid fan-out, result caching, merge-exact accounting.
+
+The runner is the scaling layer above the simulator core.  It turns the
+paper's evaluation — a cross product of protocols, traces and hardware
+configurations — into a grid of self-contained
+:class:`~repro.runner.spec.RunSpec` cells that can be
+
+* executed across a ``multiprocessing`` worker pool
+  (:func:`~repro.runner.sweep.run_sweep`),
+* served from an on-disk :class:`~repro.runner.cache.ResultCache` keyed by
+  a stable content hash of the spec, and
+* folded back into the same :class:`~repro.core.comparison.ComparisonResult`
+  the analysis layer's tables and figures consume.
+
+See ``docs/runner.md`` for the architecture, the sharding invariants, and
+how to add a sweep axis.
+"""
+
+from .cache import ResultCache
+from .spec import CACHE_SCHEMA_VERSION, RunSpec, sweep_grid
+from .sweep import RunOutcome, SweepReport, run_sweep
+
+__all__ = [
+    "ResultCache",
+    "CACHE_SCHEMA_VERSION",
+    "RunSpec",
+    "sweep_grid",
+    "RunOutcome",
+    "SweepReport",
+    "run_sweep",
+]

@@ -1,0 +1,85 @@
+"""On-disk result cache for sweep cells.
+
+Results are pickled one file per cache key under a directory the caller
+chooses.  The key (see :meth:`repro.runner.spec.RunSpec.cache_key`) hashes
+everything that determines the result, so a hit can be replayed verbatim;
+anything unreadable — truncated file, stale pickle, wrong type — is treated
+as a miss and resimulated rather than trusted.
+
+Writes go through a temp file + :func:`os.replace` so concurrent sweeps
+sharing a cache directory never observe half-written entries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.simulator import SimulationResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of pickled :class:`SimulationResult`s, keyed by spec hash."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: lookups that returned a usable result
+        self.hits = 0
+        #: lookups that found nothing usable
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None (counted as hit/miss)."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(result, SimulationResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self.path_for(key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none yet)."""
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return 0.0
+        return self.hits / lookups
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResultCache({str(self.directory)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

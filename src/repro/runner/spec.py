@@ -1,0 +1,147 @@
+"""Sweep specifications: one cell of the experiment grid, hashable on disk.
+
+A :class:`RunSpec` names everything that determines a simulation's outcome —
+protocol, trace, scale, seed, cache count, block size, sharing model — and
+nothing that doesn't (worker count, cache directory, progress hooks).  Two
+consequences fall out of that discipline:
+
+* a spec can be shipped to a worker process and executed there with no
+  shared state, and
+* :meth:`RunSpec.cache_key` is a *complete* description of the result, so
+  the on-disk cache can safely replay it.
+
+The cache key hashes the spec's simulation parameters **plus the fully
+resolved workload profile** (every calibrated field, including the seed and
+scaled region sizes).  Recalibrating a workload therefore invalidates cached
+results automatically; only genuinely identical runs hit.  A schema version
+is folded in so changes to the counting semantics can retire stale caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.simulator import SimulationResult, simulate
+from ..protocols.base import CoherenceProtocol
+from ..protocols.registry import PAPER_CORE_SCHEMES, PROTOCOLS, create_protocol
+from ..trace.record import DEFAULT_BLOCK_SIZE, TraceRecord
+from ..trace.stream import SharingModel
+from ..trace.synthetic import SyntheticWorkload, WorkloadProfile
+from ..trace.workloads import DEFAULT_SCALE, standard_profile, standard_trace_names
+
+__all__ = ["CACHE_SCHEMA_VERSION", "RunSpec", "sweep_grid"]
+
+#: Bump when counting semantics or the result format change, so previously
+#: cached results stop matching.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of a sweep: (protocol, trace, scale, config, seed).
+
+    ``seed=None`` uses the trace's calibrated default seed; an explicit
+    seed re-seeds the workload (the sweep's variance axis).
+    """
+
+    protocol: str
+    trace: str
+    scale: float = DEFAULT_SCALE
+    n_caches: int = 4
+    block_size: int = DEFAULT_BLOCK_SIZE
+    sharing_model: SharingModel = SharingModel.PROCESS
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "protocol", self.protocol.lower())
+        object.__setattr__(self, "trace", self.trace.upper())
+        if self.protocol not in PROTOCOLS:
+            known = ", ".join(sorted(PROTOCOLS))
+            raise ValueError(f"unknown protocol {self.protocol!r}; known: {known}")
+        if self.trace not in standard_trace_names():
+            known = ", ".join(standard_trace_names())
+            raise ValueError(f"unknown trace {self.trace!r}; known: {known}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.n_caches <= 0:
+            raise ValueError(f"n_caches must be positive, got {self.n_caches}")
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
+
+    # -- construction of the pieces -----------------------------------------
+
+    def profile(self) -> WorkloadProfile:
+        """The fully resolved workload profile this spec simulates."""
+        return standard_profile(self.trace, scale=self.scale, seed=self.seed)
+
+    def build_trace(self) -> Iterable[TraceRecord]:
+        return SyntheticWorkload(self.profile()).records()
+
+    def build_protocol(self) -> CoherenceProtocol:
+        return create_protocol(self.protocol, self.n_caches)
+
+    # -- identity ------------------------------------------------------------
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this spec's result on disk."""
+        token = "|".join(
+            (
+                f"schema={CACHE_SCHEMA_VERSION}",
+                f"protocol={self.protocol}",
+                f"n_caches={self.n_caches}",
+                f"block_size={self.block_size}",
+                f"sharing={self.sharing_model.value}",
+                f"profile={self.profile()!r}",
+            )
+        )
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()[:40]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate this cell from scratch (no cache involved)."""
+        return simulate(
+            self.build_protocol(),
+            self.build_trace(),
+            trace_name=self.trace,
+            block_size=self.block_size,
+            sharing_model=self.sharing_model,
+        )
+
+
+def sweep_grid(
+    protocols: Sequence[str] = PAPER_CORE_SCHEMES,
+    traces: Optional[Sequence[str]] = None,
+    scale: float = DEFAULT_SCALE,
+    n_caches: int = 4,
+    block_sizes: Sequence[int] = (DEFAULT_BLOCK_SIZE,),
+    sharing_models: Sequence[SharingModel] = (SharingModel.PROCESS,),
+    seeds: Sequence[Optional[int]] = (None,),
+) -> List[RunSpec]:
+    """The cross product of every sweep axis, in deterministic order.
+
+    Axis order (outer to inner): protocol, trace, block size, sharing
+    model, seed — so results group by protocol the way the paper's tables
+    present them.
+    """
+    if not protocols:
+        raise ValueError("at least one protocol is required")
+    trace_names: Tuple[str, ...] = tuple(traces or standard_trace_names())
+    return [
+        RunSpec(
+            protocol=protocol,
+            trace=trace,
+            scale=scale,
+            n_caches=n_caches,
+            block_size=block_size,
+            sharing_model=sharing_model,
+            seed=seed,
+        )
+        for protocol in protocols
+        for trace in trace_names
+        for block_size in block_sizes
+        for sharing_model in sharing_models
+        for seed in seeds
+    ]

@@ -1,0 +1,257 @@
+"""The parallel sweep engine: fan RunSpecs across workers, merge results.
+
+One sweep executes a grid of :class:`~repro.runner.spec.RunSpec`s —
+consulting the optional :class:`~repro.runner.cache.ResultCache` first,
+fanning the misses over a ``multiprocessing`` pool (``jobs > 1``) or
+running them inline (``jobs == 1``) — and returns a :class:`SweepReport`
+carrying every result plus the throughput and cache metrics.
+
+Determinism contract: the outcome list is ordered exactly like the input
+spec list regardless of worker scheduling, and each worker reconstructs its
+trace from the spec's seed, so ``jobs=N`` produces bit-identical counters
+to ``jobs=1``.  Only the metrics (timings, worker attribution) vary from
+run to run, which is why :meth:`SweepReport.cell_table` excludes them and
+the CLI routes them to stderr.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.comparison import ComparisonResult
+from ..core.simulator import SimulationResult
+from ..interconnect.bus import nonpipelined_bus, pipelined_bus
+from .cache import ResultCache
+from .spec import RunSpec
+
+__all__ = ["RunOutcome", "SweepReport", "run_sweep"]
+
+#: Hook called once per completed cell, in spec order.
+ProgressHook = Callable[["RunOutcome"], None]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One executed (or cache-served) sweep cell."""
+
+    spec: RunSpec
+    result: SimulationResult
+    cached: bool
+    #: simulation seconds (0.0 for cache hits)
+    elapsed: float
+    #: pid of the process that produced the result
+    worker: int
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Everything a sweep produced: results in spec order, plus metrics."""
+
+    outcomes: Sequence[RunOutcome]
+    wall_time: float
+    jobs: int
+
+    # -- counts ----------------------------------------------------------------
+
+    @property
+    def cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def simulations(self) -> int:
+        """Cells actually simulated this run (cache misses)."""
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.cache_hits / len(self.outcomes)
+
+    @property
+    def total_references(self) -> int:
+        return sum(outcome.result.references for outcome in self.outcomes)
+
+    @property
+    def simulated_references(self) -> int:
+        return sum(
+            outcome.result.references
+            for outcome in self.outcomes
+            if not outcome.cached
+        )
+
+    @property
+    def refs_per_sec(self) -> float:
+        """Simulation throughput: freshly simulated references per wall second."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.simulated_references / self.wall_time
+
+    def worker_timings(self) -> Dict[int, Tuple[int, float]]:
+        """Per-worker (cells simulated, simulation seconds), keyed by pid."""
+        timings: Dict[int, Tuple[int, float]] = {}
+        for outcome in self.outcomes:
+            if outcome.cached:
+                continue
+            cells, seconds = timings.get(outcome.worker, (0, 0.0))
+            timings[outcome.worker] = (cells + 1, seconds + outcome.elapsed)
+        return timings
+
+    # -- views -----------------------------------------------------------------
+
+    def comparison(self) -> ComparisonResult:
+        """The sweep's results as a protocol x trace comparison.
+
+        Requires the grid to collapse onto those two axes: exactly one
+        result per (protocol, trace) cell and a complete cross product —
+        the shape every paper table and figure consumes.
+        """
+        protocols: List[str] = []
+        traces: List[str] = []
+        results: Dict[str, Dict[str, SimulationResult]] = {}
+        for outcome in self.outcomes:
+            protocol, trace = outcome.spec.protocol, outcome.spec.trace
+            if protocol not in results:
+                protocols.append(protocol)
+                results[protocol] = {}
+            if trace not in traces:
+                traces.append(trace)
+            if trace in results[protocol]:
+                raise ValueError(
+                    f"grid has multiple results for ({protocol}, {trace}); "
+                    "a comparison needs the sweep collapsed to one config "
+                    "per (protocol, trace) cell"
+                )
+            results[protocol][trace] = outcome.result
+        for protocol in protocols:
+            missing = [t for t in traces if t not in results[protocol]]
+            if missing:
+                raise ValueError(
+                    f"grid is not a full cross product: {protocol} lacks "
+                    f"traces {missing}"
+                )
+        return ComparisonResult(
+            protocols=tuple(protocols), traces=tuple(traces), results=results
+        )
+
+    def cell_table(self) -> str:
+        """Deterministic per-cell summary (identical across jobs/cache runs)."""
+        pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
+        header = (
+            f"{'protocol':<13}{'trace':<7}{'block':>6}{'sharing':>10}"
+            f"{'refs':>10}{'cyc/ref pipe':>14}{'cyc/ref nonp':>14}"
+        )
+        lines = [header, "-" * len(header)]
+        for outcome in self.outcomes:
+            spec, result = outcome.spec, outcome.result
+            lines.append(
+                f"{spec.protocol:<13}{spec.trace:<7}{spec.block_size:>6}"
+                f"{spec.sharing_model.value:>10}{result.references:>10}"
+                f"{result.cycles_per_reference(pipe):>14.6f}"
+                f"{result.cycles_per_reference(nonpipe):>14.6f}"
+            )
+        return "\n".join(lines)
+
+    def render_metrics(self) -> str:
+        """Human-readable throughput / cache metrics (non-deterministic)."""
+        lines = [
+            f"sweep: {self.cells} cells ({self.simulations} simulated, "
+            f"{self.cache_hits} cached) in {self.wall_time:.2f}s wall, "
+            f"jobs={self.jobs}",
+            f"refs: {self.total_references:,} total, "
+            f"{self.simulated_references:,} simulated, "
+            f"{self.refs_per_sec:,.0f} refs/sec",
+            f"cache: {self.cache_hits} hits, "
+            f"{self.cache_hit_rate:.1%} hit rate",
+        ]
+        for worker, (cells, seconds) in sorted(self.worker_timings().items()):
+            lines.append(
+                f"worker {worker}: {cells} cells, {seconds:.2f}s simulation"
+            )
+        return "\n".join(lines)
+
+
+def _execute(spec: RunSpec) -> Tuple[SimulationResult, float, int]:
+    """Worker entry point: simulate one cell, timing it."""
+    start = time.perf_counter()
+    result = spec.run()
+    return result, time.perf_counter() - start, os.getpid()
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressHook] = None,
+) -> SweepReport:
+    """Execute a sweep grid, optionally in parallel and through a cache.
+
+    Cache lookups happen up front in the parent; only misses are dispatched
+    to workers, and their results are written back to the cache by the
+    parent (one writer, no cross-process races on fresh entries).  The
+    ``progress`` hook fires once per cell — cache hits first, then
+    simulated cells in spec order.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ValueError("at least one RunSpec is required")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    start = time.perf_counter()
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        cached_result = cache.get(spec.cache_key()) if cache is not None else None
+        if cached_result is not None:
+            outcome = RunOutcome(
+                spec=spec,
+                result=cached_result,
+                cached=True,
+                elapsed=0.0,
+                worker=os.getpid(),
+            )
+            outcomes[index] = outcome
+            if progress is not None:
+                progress(outcome)
+        else:
+            pending.append(index)
+
+    def _complete(index: int, payload: Tuple[SimulationResult, float, int]) -> None:
+        result, elapsed, worker = payload
+        outcome = RunOutcome(
+            spec=specs[index],
+            result=result,
+            cached=False,
+            elapsed=elapsed,
+            worker=worker,
+        )
+        outcomes[index] = outcome
+        if cache is not None:
+            cache.put(specs[index].cache_key(), result)
+        if progress is not None:
+            progress(outcome)
+
+    if pending:
+        if jobs == 1:
+            for index in pending:
+                _complete(index, _execute(specs[index]))
+        else:
+            with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
+                payloads = pool.imap(_execute, [specs[i] for i in pending])
+                for index, payload in zip(pending, payloads):
+                    _complete(index, payload)
+
+    return SweepReport(
+        outcomes=tuple(outcomes),
+        wall_time=time.perf_counter() - start,
+        jobs=jobs,
+    )

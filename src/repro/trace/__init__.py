@@ -8,9 +8,11 @@ This package provides everything the simulator consumes:
 * :mod:`repro.trace.stats` — trace characterisation (paper Table 3);
 * :mod:`repro.trace.atum` — ATUM-style trace file formats for real traces;
 * :mod:`repro.trace.synthetic` — the parallel-workload engine;
-* :mod:`repro.trace.workloads` — calibrated POPS / THOR / PERO profiles.
+* :mod:`repro.trace.workloads` — calibrated POPS / THOR / PERO profiles;
+* :mod:`repro.trace.chunk` — chunked stream splitting for sharded runs.
 """
 
+from .chunk import iter_chunks, split_at
 from .classify import (
     BlockClass,
     BlockProfile,
@@ -36,6 +38,7 @@ from .workloads import (
     PAPER_TRACE_LENGTHS,
     pero_profile,
     pops_profile,
+    standard_profile,
     standard_profiles,
     standard_trace,
     standard_trace_names,
@@ -43,6 +46,8 @@ from .workloads import (
 )
 
 __all__ = [
+    "iter_chunks",
+    "split_at",
     "BlockClass",
     "BlockProfile",
     "SharingProfile",
@@ -70,6 +75,7 @@ __all__ = [
     "PAPER_TRACE_LENGTHS",
     "pero_profile",
     "pops_profile",
+    "standard_profile",
     "standard_profiles",
     "standard_trace",
     "standard_trace_names",

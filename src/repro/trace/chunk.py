@@ -1,0 +1,48 @@
+"""Splitting trace streams into chunks for sharded simulation.
+
+The runner simulates long traces chunk-at-a-time: protocol state is
+threaded through the chunks in order while each chunk tallies into its own
+counters, which merge back exactly (see
+:func:`repro.core.simulator.simulate_chunks`).  These helpers produce the
+chunk streams.  They are deliberately dumb — a chunk is just a list of
+consecutive records — because the sharding invariant lives in the
+simulator, not in how the trace is cut.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Tuple
+
+from .record import TraceRecord
+
+__all__ = ["iter_chunks", "split_at"]
+
+
+def iter_chunks(
+    trace: Iterable[TraceRecord], chunk_size: int
+) -> Iterator[List[TraceRecord]]:
+    """Yield consecutive chunks of at most ``chunk_size`` records.
+
+    The final chunk may be short; an empty trace yields nothing.  Chunks
+    are materialised lists so a worker can process one while the next is
+    being generated.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    iterator = iter(trace)
+    while True:
+        chunk = list(itertools.islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def split_at(
+    trace: Iterable[TraceRecord], index: int
+) -> Tuple[List[TraceRecord], List[TraceRecord]]:
+    """Materialise ``trace`` and split it at ``index`` into (head, tail)."""
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    records = list(trace)
+    return records[:index], records[index:]

@@ -31,6 +31,7 @@ __all__ = [
     "pops_profile",
     "thor_profile",
     "pero_profile",
+    "standard_profile",
     "standard_profiles",
     "standard_trace",
     "standard_trace_names",
@@ -159,11 +160,25 @@ def standard_profiles(scale: float = DEFAULT_SCALE) -> List[WorkloadProfile]:
     return [_PROFILE_BUILDERS[name](scale=scale) for name in standard_trace_names()]
 
 
-def standard_trace(name: str, scale: float = DEFAULT_SCALE) -> Iterator[TraceRecord]:
-    """The trace stream for one of the paper's workloads by name."""
+def standard_profile(
+    name: str, scale: float = DEFAULT_SCALE, seed: int = None
+) -> WorkloadProfile:
+    """One of the paper's workload profiles by name, optionally re-seeded.
+
+    ``seed`` overrides the profile's calibrated default seed, giving a
+    statistically identical but independent trace — the sweep runner's
+    seed axis.
+    """
     try:
         builder = _PROFILE_BUILDERS[name.upper()]
     except KeyError:
         known = ", ".join(sorted(_PROFILE_BUILDERS))
         raise KeyError(f"unknown trace {name!r}; known traces: {known}") from None
-    return SyntheticWorkload(builder(scale=scale)).records()
+    if seed is None:
+        return builder(scale=scale)
+    return builder(scale=scale, seed=seed)
+
+
+def standard_trace(name: str, scale: float = DEFAULT_SCALE) -> Iterator[TraceRecord]:
+    """The trace stream for one of the paper's workloads by name."""
+    return SyntheticWorkload(standard_profile(name, scale=scale)).records()

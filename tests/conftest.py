@@ -9,6 +9,16 @@ import pytest
 from repro.protocols.base import AccessOutcome, CoherenceProtocol
 from repro.trace.record import AccessType, TraceRecord
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ snapshots from the current simulation "
+        "output instead of comparing against them",
+    )
+
+
 #: A compact op spec: (cache, "r"/"w"/"i", block)
 OpSpec = Tuple[int, str, int]
 

@@ -1,0 +1,58 @@
+"""Unit tests for trace chunking helpers."""
+
+import pytest
+
+from repro.trace.chunk import iter_chunks, split_at
+
+from conftest import trace_of
+
+
+def _trace(n):
+    return trace_of([(i % 4, "r", 16 * i) for i in range(n)])
+
+
+class TestIterChunks:
+    def test_exact_division(self):
+        chunks = list(iter_chunks(_trace(6), 2))
+        assert [len(c) for c in chunks] == [2, 2, 2]
+
+    def test_ragged_tail(self):
+        chunks = list(iter_chunks(_trace(7), 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+
+    def test_preserves_order_and_records(self):
+        records = _trace(10)
+        flattened = [r for chunk in iter_chunks(records, 4) for r in chunk]
+        assert flattened == records
+
+    def test_empty_trace_yields_nothing(self):
+        assert list(iter_chunks([], 5)) == []
+
+    def test_chunk_size_larger_than_trace(self):
+        chunks = list(iter_chunks(_trace(3), 100))
+        assert [len(c) for c in chunks] == [3]
+
+    def test_works_on_lazy_iterators(self):
+        chunks = list(iter_chunks(iter(_trace(5)), 2))
+        assert [len(c) for c in chunks] == [2, 2, 1]
+
+    def test_nonpositive_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(_trace(3), 0))
+
+
+class TestSplitAt:
+    def test_splits_cleanly(self):
+        records = _trace(8)
+        head, tail = split_at(records, 3)
+        assert head == records[:3] and tail == records[3:]
+
+    def test_boundary_splits(self):
+        records = _trace(4)
+        assert split_at(records, 0) == ([], records)
+        assert split_at(records, 4) == (records, [])
+        assert split_at(records, 99) == (records, [])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            split_at(_trace(2), -1)

@@ -89,3 +89,105 @@ class TestCommands:
     def test_nonpositive_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["--scale", "-1", "table4"])
+
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(FAST + ["--jobs", "0", "table4"])
+
+
+#: Sweep runs shrink the grid further: two schemes, tiny traces.
+SWEEP = ["sweep", "--schemes", "dir0b", "dragon"]
+
+
+class TestSweepCommand:
+    def test_cold_run_prints_cells_and_tables(self, capsys):
+        assert main(FAST + SWEEP) == 0
+        captured = capsys.readouterr()
+        assert "cyc/ref pipe" in captured.out
+        assert "Table 4" in captured.out and "Table 5" in captured.out
+        assert "cached" in captured.err and "refs/sec" in captured.err
+
+    def test_jobs_1_and_2_produce_identical_output(self, capsys):
+        assert main(FAST + ["--jobs", "1"] + SWEEP) == 0
+        serial = capsys.readouterr().out
+        assert main(FAST + ["--jobs", "2"] + SWEEP) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_warm_cache_run_hits_cache_with_identical_output(
+        self, tmp_path, capsys
+    ):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(FAST + cache + SWEEP) == 0
+        cold = capsys.readouterr()
+        assert "(6 simulated, 0 cached)" in cold.err
+        assert main(FAST + cache + SWEEP) == 0
+        warm = capsys.readouterr()
+        assert "(0 simulated, 6 cached)" in warm.err
+        assert "6 hits" in warm.err
+        assert warm.out == cold.out
+
+    def test_multi_block_size_grid_skips_paper_tables(self, capsys):
+        assert main(
+            FAST
+            + [
+                "sweep",
+                "--schemes",
+                "dir0b",
+                "--traces",
+                "POPS",
+                "--block-sizes",
+                "16",
+                "32",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" not in out  # grid has an extra axis
+        assert out.count("dir0b") == 2  # one cell row per block size
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--schemes", "nonesuch"])
+
+    def test_nonpositive_block_size_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="must be positive"):
+            main(FAST + ["sweep", "--block-sizes", "-4"])
+
+
+class TestErrorPaths:
+    def test_export_trace_unwritable_path_exits_cleanly(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "out.trace"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(FAST + ["export-trace", "POPS", str(missing)])
+
+    def test_export_trace_unknown_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export-trace", "NOPE", "out.trace"])
+
+    def test_modelcheck_nonpositive_config_rejected(self):
+        with pytest.raises(SystemExit, match="must be >= 1"):
+            main(["modelcheck", "dir0b", "--caches", "0"])
+        with pytest.raises(SystemExit, match="must be >= 1"):
+            main(["modelcheck", "dir0b", "--depth", "0"])
+
+    def test_modelcheck_violation_exits_nonzero(self, capsys, monkeypatch):
+        import repro.core
+        from repro.core.modelcheck import ModelCheckReport
+
+        failing = ModelCheckReport(
+            protocol="dir0b",
+            n_caches=2,
+            n_blocks=1,
+            depth=2,
+            sequences_explored=1,
+            steps_executed=2,
+            counterexample=((0, 1, 0),),
+            error="stale read observed",
+        )
+        monkeypatch.setattr(
+            repro.core, "model_check", lambda *args, **kwargs: failing
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["modelcheck", "dir0b"])
+        assert excinfo.value.code == 1
+        assert "VIOLATION" in capsys.readouterr().out

@@ -46,6 +46,112 @@ class TestSimulationCounters:
         assert counters.fanout.count(2) == 1
 
 
+class TestTransactionSemantics:
+    """Pin the transaction-counting contract: transactions == used_bus.
+
+    A reference is a bus transaction exactly when its outcome carries at
+    least one non-overlapped op with a positive count.  Empty op lists,
+    zero-count ops, and overlapped-only directory checks are all free.
+    """
+
+    def test_empty_op_list_is_not_a_transaction(self):
+        counters = SimulationCounters()
+        counters.record(_outcome(Event.READ_HIT))
+        assert counters.ops.transactions == 0
+
+    def test_zero_count_op_is_not_a_transaction(self):
+        counters = SimulationCounters()
+        counters.record(_outcome(Event.WH_BLK_CLEAN, ops=[(BusOp.INVALIDATE, 0)]))
+        assert counters.ops.transactions == 0
+        assert BusOp.INVALIDATE not in counters.ops.ops
+
+    def test_mixed_ops_count_one_transaction(self):
+        counters = SimulationCounters()
+        counters.record(
+            _outcome(
+                Event.RM_BLK_DIRTY,
+                ops=[
+                    (BusOp.DIR_CHECK_OVERLAPPED, 1),
+                    (BusOp.FLUSH_REQUEST, 1),
+                    (BusOp.WRITE_BACK, 1),
+                ],
+            )
+        )
+        assert counters.ops.transactions == 1
+
+    def test_transactions_equal_bus_using_outcomes(self):
+        """The counter must agree with used_bus outcome by outcome."""
+        outcomes = [
+            _outcome(Event.READ_HIT),
+            _outcome(Event.READ_HIT, ops=[(BusOp.DIR_CHECK_OVERLAPPED, 1)]),
+            _outcome(Event.RM_BLK_CLEAN, ops=[(BusOp.MEM_ACCESS, 1)]),
+            _outcome(Event.WH_BLK_CLEAN, ops=[(BusOp.INVALIDATE, 2)], fanout=2),
+            _outcome(Event.WH_BLK_CLEAN, ops=[(BusOp.INVALIDATE, 0)], fanout=0),
+        ]
+        counters = SimulationCounters()
+        for outcome in outcomes:
+            counters.record(outcome)
+        expected = sum(1 for outcome in outcomes if outcome.used_bus)
+        assert counters.ops.transactions == expected == 2
+
+    def test_every_protocol_keeps_transactions_consistent(self):
+        """Audit: over a real trace, no protocol emits a bus-using outcome
+        whose op list would have been skipped by the old empty-list guard,
+        and the transaction tally always equals the used_bus count."""
+        from repro.protocols.registry import PROTOCOLS, create_protocol
+        from repro.trace import standard_trace
+
+        trace = list(standard_trace("POPS", scale=1 / 1024))
+        for name in sorted(PROTOCOLS):
+            protocol = create_protocol(name, 4)
+            counters = SimulationCounters()
+            used_bus = 0
+            units = {}
+            for record in trace:
+                unit = units.setdefault(record.pid, len(units))
+                outcome = protocol.access(unit, record.access, record.address // 16)
+                if outcome.used_bus:
+                    assert outcome.ops, (
+                        f"{name}: bus-using outcome with empty op list"
+                    )
+                    used_bus += 1
+                counters.record(outcome)
+            assert counters.ops.transactions == used_bus, name
+
+
+class TestCounterMerge:
+    def test_merge_sums_every_field(self):
+        a = SimulationCounters()
+        a.record(_outcome(Event.READ_HIT))
+        a.record(_outcome(Event.RM_BLK_CLEAN, ops=[(BusOp.MEM_ACCESS, 1)]))
+        a.record(_outcome(Event.WH_BLK_CLEAN, ops=[(BusOp.INVALIDATE, 1)], fanout=1))
+        b = SimulationCounters()
+        b.record(_outcome(Event.READ_HIT))
+        b.record(_outcome(Event.WH_BLK_CLEAN, ops=[(BusOp.INVALIDATE, 2)], fanout=2))
+        merged = a.merge(b)
+        assert merged is a
+        assert a.event_count(Event.READ_HIT) == 2
+        assert a.ops.references == 5
+        assert a.ops.transactions == 3
+        assert a.ops.ops[BusOp.INVALIDATE] == 3
+        assert a.fanout.as_dict() == {1: 1, 2: 1}
+
+    def test_iadd_is_merge(self):
+        a = SimulationCounters()
+        a.record(_outcome(Event.READ_HIT))
+        b = SimulationCounters()
+        b.record(_outcome(Event.INSTR))
+        a += b
+        assert a.references == 2
+
+    def test_merge_with_empty_is_identity(self):
+        a = SimulationCounters()
+        a.record(_outcome(Event.RM_BLK_DIRTY, ops=[(BusOp.WRITE_BACK, 1)]))
+        before = (dict(a.events), dict(a.ops.ops), a.ops.transactions)
+        a.merge(SimulationCounters())
+        assert (dict(a.events), dict(a.ops.ops), a.ops.transactions) == before
+
+
 class TestEventFrequencies:
     def _frequencies(self):
         counters = SimulationCounters()

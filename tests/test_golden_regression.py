@@ -1,0 +1,121 @@
+"""Golden-regression harness: pin the paper-facing numbers per protocol.
+
+Every registered protocol is simulated over one fixed-seed synthetic trace
+and its Table 4 event frequencies, Table 5 cycles-per-reference (both bus
+models), and transaction rate are compared against snapshots in
+``tests/golden/``.  The simulation is deterministic pure Python, so any
+drift — a refactor that reorders state transitions, a costing change, a
+workload tweak — fails loudly here instead of silently shifting the
+reproduced paper numbers.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_regression.py \
+        --update-golden
+
+then commit the regenerated ``tests/golden/golden_metrics.json`` alongside
+the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.interconnect.bus import nonpipelined_bus, pipelined_bus
+from repro.protocols.registry import PROTOCOLS, create_protocol
+from repro.trace.synthetic import SyntheticWorkload, WorkloadProfile
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_metrics.json"
+
+#: The pinned workload: small enough to stay fast, seeded so every run of
+#: every future revision sees byte-identical input.
+GOLDEN_PROFILE = WorkloadProfile(
+    name="GOLDEN", length=4000, seed=1988, processes=4, processors=4
+)
+N_CACHES = 4
+
+#: Comparison tolerance: the run is deterministic, so this only absorbs
+#: JSON round-tripping, not simulation noise.
+REL_TOL = 1e-12
+
+
+def _metrics_for(protocol_name: str, trace) -> Dict[str, object]:
+    result = simulate(
+        create_protocol(protocol_name, N_CACHES),
+        trace,
+        trace_name=GOLDEN_PROFILE.name,
+    )
+    return {
+        "references": result.references,
+        "transactions_per_reference": result.counters.ops.transactions_per_reference,
+        "frequencies": result.frequencies().as_dict(),
+        "cycles_per_reference": {
+            "pipelined": result.cycles_per_reference(pipelined_bus()),
+            "nonpipelined": result.cycles_per_reference(nonpipelined_bus()),
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def current_metrics() -> Dict[str, Dict[str, object]]:
+    trace = list(SyntheticWorkload(GOLDEN_PROFILE).records())
+    return {name: _metrics_for(name, trace) for name in sorted(PROTOCOLS)}
+
+
+@pytest.fixture(scope="module")
+def golden_metrics(request, current_metrics) -> Dict[str, Dict[str, object]]:
+    if request.config.getoption("--update-golden"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        snapshot = {
+            "_meta": {
+                "profile": repr(GOLDEN_PROFILE),
+                "n_caches": N_CACHES,
+                "note": "regenerate with pytest --update-golden",
+            },
+            "protocols": current_metrics,
+        }
+        GOLDEN_PATH.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"missing golden snapshot {GOLDEN_PATH}; generate it with "
+            "pytest --update-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["protocols"]
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_protocol_matches_golden(protocol_name, current_metrics, golden_metrics):
+    assert protocol_name in golden_metrics, (
+        f"{protocol_name} has no golden entry; rerun with --update-golden"
+    )
+    current = current_metrics[protocol_name]
+    golden = golden_metrics[protocol_name]
+    assert current["references"] == golden["references"]
+    assert current["transactions_per_reference"] == pytest.approx(
+        golden["transactions_per_reference"], rel=REL_TOL
+    )
+    for bus, cycles in golden["cycles_per_reference"].items():
+        assert current["cycles_per_reference"][bus] == pytest.approx(
+            cycles, rel=REL_TOL
+        ), f"{protocol_name}: cycles/ref drifted on {bus} bus"
+    assert set(current["frequencies"]) == set(golden["frequencies"])
+    for row, percent in golden["frequencies"].items():
+        assert current["frequencies"][row] == pytest.approx(
+            percent, rel=REL_TOL, abs=1e-15
+        ), f"{protocol_name}: Table 4 row {row!r} drifted"
+
+
+def test_golden_covers_exactly_the_registry(golden_metrics):
+    """A protocol added to (or removed from) the registry must re-bless."""
+    assert set(golden_metrics) == set(PROTOCOLS), (
+        "golden snapshot out of sync with protocol registry; "
+        "rerun with --update-golden"
+    )

@@ -1,0 +1,142 @@
+"""Property tests: sharded simulation merges back to the single-run truth.
+
+The runner's sharding invariant (see docs/runner.md): protocol state is
+threaded through chunks while counters accumulate per chunk, so for *any*
+split point ``merge(counters(chunk_a), counters(chunk_b))`` must equal the
+counters of one uninterrupted run — exactly, for every registered protocol,
+across event counts, bus-op counts, transactions, and the fan-out
+histogram.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import SimulationCounters
+from repro.core.simulator import simulate, simulate_chunks
+from repro.interconnect.bus import BusOp
+from repro.protocols.base import AccessOutcome
+from repro.protocols.events import Event
+from repro.protocols.registry import PROTOCOLS, create_protocol
+from repro.trace.chunk import iter_chunks, split_at
+from repro.trace.synthetic import SyntheticWorkload, WorkloadProfile
+
+#: One smallish trace with genuine sharing, generated once per test session.
+_PROFILE = WorkloadProfile(name="MERGEPROP", length=420, seed=7, processes=4)
+_TRACE = list(SyntheticWorkload(_PROFILE).records())
+
+_SETTINGS = dict(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _counter_state(counters: SimulationCounters):
+    """Everything a merge must preserve, in comparable form."""
+    return (
+        dict(counters.events),
+        dict(counters.ops.ops),
+        counters.ops.transactions,
+        counters.ops.references,
+        counters.fanout.as_dict(),
+    )
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+@given(cut=st.integers(min_value=0, max_value=len(_TRACE)))
+@settings(**_SETTINGS)
+def test_two_way_split_merges_exactly(protocol_name, cut):
+    full = simulate(create_protocol(protocol_name, 4), _TRACE)
+    head, tail = split_at(_TRACE, cut)
+    chunked = simulate_chunks(create_protocol(protocol_name, 4), [head, tail])
+    assert _counter_state(chunked.counters) == _counter_state(full.counters)
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+@given(chunk_size=st.integers(min_value=1, max_value=len(_TRACE) + 10))
+@settings(**_SETTINGS)
+def test_many_way_split_merges_exactly(protocol_name, chunk_size):
+    full = simulate(create_protocol(protocol_name, 4), _TRACE)
+    chunked = simulate_chunks(
+        create_protocol(protocol_name, 4), iter_chunks(_TRACE, chunk_size)
+    )
+    assert _counter_state(chunked.counters) == _counter_state(full.counters)
+
+
+def test_chunk_done_hook_sees_partial_counters_that_sum_to_total():
+    seen = []
+    result = simulate_chunks(
+        create_protocol("dir0b", 4),
+        iter_chunks(_TRACE, 100),
+        chunk_done=seen.append,
+    )
+    assert sum(c.references for c in seen) == result.references == len(_TRACE)
+    recombined = SimulationCounters()
+    for chunk_counters in seen:
+        recombined.merge(chunk_counters)
+    assert _counter_state(recombined) == _counter_state(result.counters)
+
+
+# -- counter-level algebra (protocol independent) ---------------------------
+
+_EVENTS = st.sampled_from(list(Event))
+_OPS = st.lists(
+    st.tuples(st.sampled_from(list(BusOp)), st.integers(min_value=0, max_value=3)),
+    max_size=3,
+)
+_OUTCOMES = st.builds(
+    AccessOutcome,
+    event=_EVENTS,
+    ops=_OPS.map(tuple),
+    invalidation_fanout=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=4)
+    ),
+)
+
+
+@given(outcomes=st.lists(_OUTCOMES, max_size=40), cut=st.integers(0, 40))
+@settings(max_examples=60, deadline=None)
+def test_counter_merge_equals_single_pass(outcomes, cut):
+    cut = min(cut, len(outcomes))
+    whole = SimulationCounters()
+    for outcome in outcomes:
+        whole.record(outcome)
+    left, right = SimulationCounters(), SimulationCounters()
+    for outcome in outcomes[:cut]:
+        left.record(outcome)
+    for outcome in outcomes[cut:]:
+        right.record(outcome)
+    left.merge(right)
+    assert _counter_state(left) == _counter_state(whole)
+
+
+@given(
+    chunks=st.lists(st.lists(_OUTCOMES, max_size=15), min_size=1, max_size=5)
+)
+@settings(max_examples=40, deadline=None)
+def test_counter_merge_is_associative(chunks):
+    per_chunk = []
+    for chunk in chunks:
+        counters = SimulationCounters()
+        for outcome in chunk:
+            counters.record(outcome)
+        per_chunk.append(counters)
+
+    def _fresh(index):
+        rebuilt = SimulationCounters()
+        for outcome in chunks[index]:
+            rebuilt.record(outcome)
+        return rebuilt
+
+    left_fold = SimulationCounters()
+    for index in range(len(chunks)):
+        left_fold.merge(_fresh(index))
+    right_fold = SimulationCounters()
+    for index in reversed(range(len(chunks))):
+        suffix = _fresh(index)
+        suffix.merge(right_fold)
+        right_fold = suffix
+    assert _counter_state(left_fold) == _counter_state(right_fold)
