@@ -21,9 +21,11 @@ per-table/figure reproduction harness.
 """
 
 from .analysis import (
+    FiniteSensitivityTable,
     broadcast_cost_line,
     directory_storage_bits,
     figure1,
+    finite_sensitivity,
     figure2,
     figure3,
     figure4,
@@ -52,10 +54,12 @@ from .core import (
     simulate_finite,
 )
 from .runner import (
+    INFINITE_GEOMETRY,
     ResultCache,
     RunOutcome,
     RunSpec,
     SweepReport,
+    normalize_geometry,
     run_sweep,
     sweep_grid,
 )
@@ -102,12 +106,14 @@ from .trace import (
     standard_trace_names,
 )
 
-__version__ = "1.0.0"
+from ._version import __version__
 
 __all__ = [
+    "FiniteSensitivityTable",
     "broadcast_cost_line",
     "directory_storage_bits",
     "figure1",
+    "finite_sensitivity",
     "figure2",
     "figure3",
     "figure4",
@@ -132,10 +138,12 @@ __all__ = [
     "simulate",
     "simulate_chunks",
     "simulate_finite",
+    "INFINITE_GEOMETRY",
     "ResultCache",
     "RunOutcome",
     "RunSpec",
     "SweepReport",
+    "normalize_geometry",
     "run_sweep",
     "sweep_grid",
     "BusCostModel",

@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+Lives in its own leaf module so layers that must not import the package
+root (e.g. :mod:`repro.runner.spec`, which folds the version into the
+on-disk result-cache key) can read it without an import cycle.  Keep in
+sync with ``pyproject.toml``.
+"""
+
+__version__ = "1.1.0"

@@ -28,7 +28,13 @@ from .scaling import (
     fanout_scaling,
     scale_profile_to_processors,
 )
-from .sensitivity import OverheadLine, overhead_lines, relative_gap
+from .sensitivity import (
+    FiniteSensitivityTable,
+    OverheadLine,
+    finite_sensitivity,
+    overhead_lines,
+    relative_gap,
+)
 from .spinlock import SpinLockImpact, spin_lock_impact
 from .tables import (
     TABLE4_ROWS,
@@ -70,7 +76,9 @@ __all__ = [
     "directory_storage_bits",
     "sweep_dirib",
     "sweep_dirinb",
+    "FiniteSensitivityTable",
     "OverheadLine",
+    "finite_sensitivity",
     "overhead_lines",
     "relative_gap",
     "SpinLockImpact",

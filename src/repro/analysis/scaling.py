@@ -19,7 +19,7 @@ applications.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence
 
 from ..core.invalidation import InvalidationHistogram
 from ..core.simulator import simulate

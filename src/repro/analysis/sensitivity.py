@@ -1,25 +1,39 @@
-"""Section 5.1 sensitivity analysis: fixed per-transaction overheads.
+"""Sensitivity analyses: per-transaction overheads and finite cache sizes.
 
-The bus-cycles metric counts only cycles the bus is busy with data; every
-real transaction also pays cache-access, bus-controller and arbitration
-time.  Section 5.1 models this as ``q`` extra cycles per bus transaction and
-observes that the Dragon/Dir0B gap shrinks from 46% (q=0) to 12% (q=1),
-because Dragon performs almost twice as many (cheap) transactions.
+**Section 5.1 — fixed per-transaction overheads.**  The bus-cycles metric
+counts only cycles the bus is busy with data; every real transaction also
+pays cache-access, bus-controller and arbitration time.  Section 5.1 models
+this as ``q`` extra cycles per bus transaction and observes that the
+Dragon/Dir0B gap shrinks from 46% (q=0) to 12% (q=1), because Dragon
+performs almost twice as many (cheap) transactions.
 
 The paper's line for each scheme is ``cycles(q) = c0 + t · q`` with ``c0``
 the bus cycles per reference and ``t`` the bus transactions per reference
 (Dragon: 0.0336 + 0.0206·q; Dir0B: 0.0491 + 0.0114·q).
+
+**Finite-geometry sensitivity.**  The paper simulates infinite caches so
+that every miss is a coherence miss.  :func:`finite_sensitivity` relaxes
+that assumption: it folds a sweep that includes finite set-associative
+geometries into a cycles-per-reference vs cache-size table, showing how
+displacement misses close (or widen) the gaps between schemes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.comparison import ComparisonResult
+from ..core.simulator import SimulationResult
 from ..interconnect.bus import BusCostModel, pipelined_bus
 
-__all__ = ["OverheadLine", "overhead_lines", "relative_gap"]
+__all__ = [
+    "FiniteSensitivityTable",
+    "OverheadLine",
+    "finite_sensitivity",
+    "overhead_lines",
+    "relative_gap",
+]
 
 
 @dataclass(frozen=True)
@@ -76,3 +90,90 @@ def relative_gap(
     if fast_cycles == 0:
         raise ValueError("fast scheme has zero cycles; gap undefined")
     return 100.0 * (lines[slow].at(q) - fast_cycles) / fast_cycles
+
+
+def _geometry_sort_key(geometry: str) -> Tuple[int, int]:
+    """Order geometries by total blocks, infinite last."""
+    if geometry == "inf":
+        return (1, 0)
+    sets, ways = geometry.split("x")
+    return (0, int(sets) * int(ways))
+
+
+@dataclass(frozen=True)
+class FiniteSensitivityTable:
+    """Trace-averaged bus cycles per reference vs cache geometry.
+
+    One row per geometry (smallest cache first, infinite last), one column
+    per scheme.  ``cycles[geometry][scheme]`` is the unweighted mean of
+    pipelined-bus cycles per reference over the sweep's traces — the same
+    averaging as :meth:`~repro.core.comparison.ComparisonResult.average_cycles`,
+    so the infinite row matches the paper's Figure 2 bars.
+    """
+
+    schemes: Tuple[str, ...]
+    geometries: Tuple[str, ...]
+    cycles: Mapping[str, Mapping[str, float]]
+
+    def render(self) -> str:
+        header = f"{'geometry':<10}" + "".join(
+            f"{scheme:>12}" for scheme in self.schemes
+        )
+        lines = [
+            "Bus cycles per reference vs cache geometry (sets x ways, "
+            "pipelined bus)",
+            header,
+            "-" * len(header),
+        ]
+        for geometry in self.geometries:
+            row = self.cycles[geometry]
+            lines.append(
+                f"{geometry:<10}"
+                + "".join(f"{row[scheme]:>12.6f}" for scheme in self.schemes)
+            )
+        return "\n".join(lines)
+
+
+def finite_sensitivity(
+    cells: Sequence[Tuple[str, Optional[str], SimulationResult]],
+    bus: Optional[BusCostModel] = None,
+) -> FiniteSensitivityTable:
+    """Fold sweep cells into a cycles/ref vs cache-size table.
+
+    ``cells`` is a sequence of ``(scheme, geometry_spec, result)`` triples —
+    one per simulated (scheme, geometry, trace) cell, with ``None`` geometry
+    meaning infinite caches.  Every (scheme, geometry) pair must cover the
+    same number of traces; the table averages over them.
+    """
+    bus = bus or pipelined_bus()
+    schemes: List[str] = []
+    geometries: List[str] = []
+    sums: Dict[Tuple[str, str], List[float]] = {}
+    for scheme, geometry, result in cells:
+        label = geometry or "inf"
+        if scheme not in schemes:
+            schemes.append(scheme)
+        if label not in geometries:
+            geometries.append(label)
+        sums.setdefault((scheme, label), []).append(
+            result.cycles_per_reference(bus)
+        )
+    if not sums:
+        raise ValueError("at least one sweep cell is required")
+    counts = {len(values) for values in sums.values()}
+    if len(sums) != len(schemes) * len(geometries) or len(counts) != 1:
+        raise ValueError(
+            "finite sensitivity needs a full scheme x geometry cross "
+            "product with the same traces in every cell"
+        )
+    geometries.sort(key=_geometry_sort_key)
+    cycles = {
+        geometry: {
+            scheme: sum(sums[(scheme, geometry)]) / len(sums[(scheme, geometry)])
+            for scheme in schemes
+        }
+        for geometry in geometries
+    }
+    return FiniteSensitivityTable(
+        schemes=tuple(schemes), geometries=tuple(geometries), cycles=cycles
+    )

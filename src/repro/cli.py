@@ -4,6 +4,8 @@ Subcommands::
 
     repro-coherence compare  [--schemes ...] [--scale N] [--bus ...]
     repro-coherence sweep    [--schemes ...] [--traces ...] [--block-sizes ...]
+                             [--geometries ...]
+    repro-coherence finite   [--schemes ...] [--geometries ...] [--scale N]
     repro-coherence table4   [--scale N]
     repro-coherence table5   [--scale N]
     repro-coherence figure1  [--scale N]
@@ -34,14 +36,27 @@ from .analysis import (
     directory_storage_bits,
     figure1,
     figure2,
+    finite_sensitivity,
     spin_lock_impact,
     table4,
     table5,
 )
 from .core import run_standard_comparison
 from .interconnect import nonpipelined_bus, pipelined_bus
-from .protocols import PAPER_CORE_SCHEMES, protocol_names
-from .runner import ResultCache, run_sweep, sweep_grid
+from .protocols import (
+    PAPER_CORE_SCHEMES,
+    PROTOCOLS,
+    protocol_names,
+    unknown_protocol_message,
+)
+from .runner import (
+    ResultCache,
+    RunSpec,
+    SweepReport,
+    normalize_geometry,
+    run_sweep,
+    sweep_grid,
+)
 from .trace import SharingModel, collect_stats, standard_trace, standard_trace_names
 from .trace.atum import write_binary, write_text
 from .trace.stats import format_table3
@@ -49,6 +64,27 @@ from .trace.stats import format_table3
 __all__ = ["main", "build_parser"]
 
 _DEFAULT_SCALE_DENOMINATOR = 16.0
+
+#: Default geometry ladder for the ``finite`` sensitivity table:
+#: three finite sizes bracketing the working sets, plus the paper's
+#: infinite-cache baseline.
+_DEFAULT_FINITE_GEOMETRIES = ("16x2", "64x2", "256x2", "inf")
+
+
+def _scheme_arg(name: str) -> str:
+    """argparse type for scheme names: lowercase, with a did-you-mean error."""
+    candidate = name.lower()
+    if candidate not in PROTOCOLS:
+        raise argparse.ArgumentTypeError(unknown_protocol_message(name))
+    return candidate
+
+
+def _geometry_arg(text: str) -> Optional[str]:
+    """argparse type for geometry specs: "SETSxWAYS" or "inf" (``None``)."""
+    try:
+        return normalize_geometry(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes",
         nargs="+",
         default=list(PAPER_CORE_SCHEMES),
-        choices=protocol_names(),
+        type=_scheme_arg,
         metavar="SCHEME",
         help=f"schemes to compare (choices: {', '.join(protocol_names())})",
     )
@@ -98,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes",
         nargs="+",
         default=list(PAPER_CORE_SCHEMES),
-        choices=protocol_names(),
+        type=_scheme_arg,
         metavar="SCHEME",
         help=f"schemes to sweep (choices: {', '.join(protocol_names())})",
     )
@@ -118,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="block sizes to sweep (default: the paper's 16)",
     )
     sweep.add_argument(
+        "--geometries",
+        nargs="+",
+        type=_geometry_arg,
+        default=[None],
+        metavar="SETSxWAYS",
+        help=(
+            "cache geometries to sweep: SETSxWAYS specs like 64x4, or 'inf' "
+            "for the paper's infinite caches (default: inf)"
+        ),
+    )
+    sweep.add_argument(
         "--sharing",
         nargs="+",
         choices=[model.value for model in SharingModel],
@@ -125,6 +172,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharing models to sweep (default: process)",
     )
     sweep.add_argument(
+        "--n-caches", type=int, default=4, help="caches per system (default 4)"
+    )
+
+    finite = sub.add_parser(
+        "finite",
+        help="cycles/ref vs cache size: finite-geometry sensitivity table",
+    )
+    finite.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(PAPER_CORE_SCHEMES),
+        type=_scheme_arg,
+        metavar="SCHEME",
+        help=f"schemes to tabulate (choices: {', '.join(protocol_names())})",
+    )
+    finite.add_argument(
+        "--geometries",
+        nargs="+",
+        type=_geometry_arg,
+        default=[_geometry_arg(g) for g in _DEFAULT_FINITE_GEOMETRIES],
+        metavar="SETSxWAYS",
+        help=(
+            "cache geometries to tabulate (default: "
+            f"{' '.join(_DEFAULT_FINITE_GEOMETRIES)})"
+        ),
+    )
+    finite.add_argument(
         "--n-caches", type=int, default=4, help="caches per system (default 4)"
     )
 
@@ -147,12 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser(
         "validate", help="value-level coherence validation of a scheme"
     )
-    validate.add_argument("scheme", choices=protocol_names())
+    validate.add_argument("scheme", type=_scheme_arg)
 
     modelcheck = sub.add_parser(
         "modelcheck", help="exhaustively verify a scheme on a small config"
     )
-    modelcheck.add_argument("scheme", choices=protocol_names())
+    modelcheck.add_argument("scheme", type=_scheme_arg)
     modelcheck.add_argument("--caches", type=int, default=2)
     modelcheck.add_argument("--blocks", type=int, default=1)
     modelcheck.add_argument("--depth", type=int, default=6)
@@ -160,7 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     timed = sub.add_parser(
         "timed", help="timing-accurate run with bus arbitration"
     )
-    timed.add_argument("scheme", choices=protocol_names())
+    timed.add_argument("scheme", type=_scheme_arg)
     timed.add_argument("--q", type=int, default=1, help="fixed overhead cycles")
 
     export = sub.add_parser(
@@ -220,6 +294,26 @@ def _cmd_figure1(args: argparse.Namespace) -> None:
     print(figure1(_comparison(args, ("dir0b",))).render())
 
 
+def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
+    """Run a spec grid with the CLI's jobs/cache/progress plumbing."""
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    done = 0
+
+    def progress(outcome) -> None:
+        nonlocal done
+        done += 1
+        source = "cache" if outcome.cached else f"{outcome.elapsed:.2f}s"
+        geometry = outcome.spec.geometry or "inf"
+        print(
+            f"[{done}/{len(specs)}] {outcome.spec.protocol} "
+            f"{outcome.spec.trace} b{outcome.spec.block_size} "
+            f"g{geometry} ({source})",
+            file=sys.stderr,
+        )
+
+    return run_sweep(specs, jobs=_jobs(args), cache=cache, progress=progress)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> None:
     try:
         specs = sweep_grid(
@@ -228,24 +322,12 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             scale=_scale(args),
             n_caches=args.n_caches,
             block_sizes=tuple(args.block_sizes),
+            geometries=tuple(args.geometries),
             sharing_models=tuple(SharingModel(value) for value in args.sharing),
         )
     except ValueError as error:
         raise SystemExit(f"sweep: {error}") from error
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    done = 0
-
-    def progress(outcome) -> None:
-        nonlocal done
-        done += 1
-        source = "cache" if outcome.cached else f"{outcome.elapsed:.2f}s"
-        print(
-            f"[{done}/{len(specs)}] {outcome.spec.protocol} "
-            f"{outcome.spec.trace} b{outcome.spec.block_size} ({source})",
-            file=sys.stderr,
-        )
-
-    report = run_sweep(specs, jobs=_jobs(args), cache=cache, progress=progress)
+    report = _run_grid(args, specs)
     print(report.cell_table())
     try:
         comparison = report.comparison()
@@ -256,6 +338,27 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         print(table4(comparison).render())
         print()
         print(table5(comparison).render())
+    print(report.render_metrics(), file=sys.stderr)
+
+
+def _cmd_finite(args: argparse.Namespace) -> None:
+    try:
+        specs = sweep_grid(
+            tuple(args.schemes),
+            scale=_scale(args),
+            n_caches=args.n_caches,
+            geometries=tuple(args.geometries),
+        )
+    except ValueError as error:
+        raise SystemExit(f"finite: {error}") from error
+    report = _run_grid(args, specs)
+    table = finite_sensitivity(
+        [
+            (outcome.spec.protocol, outcome.spec.geometry, outcome.result)
+            for outcome in report.outcomes
+        ]
+    )
+    print(table.render())
     print(report.render_metrics(), file=sys.stderr)
 
 
@@ -360,6 +463,7 @@ def _cmd_export_trace(args: argparse.Namespace) -> None:
 _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "finite": _cmd_finite,
     "table4": _cmd_table4,
     "table5": _cmd_table5,
     "figure1": _cmd_figure1,

@@ -1,4 +1,4 @@
-"""Core simulation engine: simulator, counters, metrics, comparison runner."""
+"""Core simulation engine: the reference pipeline and its wrappers."""
 
 from .comparison import ComparisonResult, run_comparison, run_standard_comparison
 from .counters import EventFrequencies, SimulationCounters
@@ -10,6 +10,12 @@ from .oracle import (
     CoherenceViolation,
     OracleReport,
     validate_coherence,
+)
+from .pipeline import (
+    GeometryStage,
+    InfinitePassthrough,
+    ReferencePipeline,
+    SetAssociativeLRU,
 )
 from .timing import TimingResult, simulate_timed
 from .metrics import (
@@ -34,6 +40,10 @@ __all__ = [
     "CoherenceViolation",
     "OracleReport",
     "validate_coherence",
+    "GeometryStage",
+    "InfinitePassthrough",
+    "ReferencePipeline",
+    "SetAssociativeLRU",
     "TimingResult",
     "simulate_timed",
     "MissRateDecomposition",

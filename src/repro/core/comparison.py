@@ -15,7 +15,7 @@ presentation; both views are available.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
 
 from ..interconnect.bus import BusCostModel, Table5Category
 from ..protocols.registry import PAPER_CORE_SCHEMES, create_protocol

@@ -19,14 +19,22 @@ __all__ = ["SimulationCounters", "EventFrequencies"]
 
 
 class SimulationCounters:
-    """Everything counted while a protocol processes a trace."""
+    """Everything counted while a protocol processes a trace.
 
-    __slots__ = ("events", "ops", "fanout")
+    ``evictions`` / ``dirty_evictions`` tally the finite-geometry stage's
+    capacity and conflict displacements (always 0 under the paper's
+    infinite caches); the write-backs dirty evictions cost are folded into
+    ``ops`` by the stage itself.
+    """
+
+    __slots__ = ("events", "ops", "fanout", "evictions", "dirty_evictions")
 
     def __init__(self) -> None:
         self.events: Dict[Event, int] = {}
         self.ops = BusOpCounts()
         self.fanout = InvalidationHistogram()
+        self.evictions = 0
+        self.dirty_evictions = 0
 
     def record(self, outcome: AccessOutcome) -> None:
         """Tally one reference's outcome.
@@ -61,6 +69,8 @@ class SimulationCounters:
             events[event] = events.get(event, 0) + count
         self.ops.merge(other.ops)
         self.fanout.merge(other.fanout)
+        self.evictions += other.evictions
+        self.dirty_evictions += other.dirty_evictions
         return self
 
     def __iadd__(self, other: "SimulationCounters") -> "SimulationCounters":

@@ -8,24 +8,27 @@ set-associative LRU caches of a chosen geometry, injecting capacity and
 conflict displacements into the protocol state, so the interaction between
 cache size and coherence traffic can be measured rather than estimated.
 
-Displacement accounting: an evicted dirty block is written back (a
-``WRITE_BACK`` bus op); evicted clean blocks vanish silently.  The paper's
-footnote that "coherency-related misses will be fewer in a finite-sized
-cache" (some would-be-invalidated blocks have already been purged) emerges
-naturally from this construction.
+The execution itself is the unified reference pipeline with its
+:class:`~repro.core.pipeline.SetAssociativeLRU` geometry stage — the same
+engine (and the same feed loop) behind :func:`~repro.core.simulator.simulate`;
+this module only packages the displacement statistics.  Displacement
+accounting: an evicted dirty block is written back (a ``WRITE_BACK`` bus
+op); evicted clean blocks vanish silently.  The paper's footnote that
+"coherency-related misses will be fewer in a finite-sized cache" (some
+would-be-invalidated blocks have already been purged) emerges naturally
+from this construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Iterable
 
-from ..memory.cache import CacheGeometry, FiniteCache
+from ..memory.cache import CacheGeometry
 from ..protocols.base import CoherenceProtocol
-from ..trace.record import DEFAULT_BLOCK_SIZE, AccessType, TraceRecord
+from ..trace.record import DEFAULT_BLOCK_SIZE, TraceRecord
 from ..trace.stream import SharingModel
-from .counters import SimulationCounters
-from .simulator import SimulationResult
+from .pipeline import ReferencePipeline, SimulationResult
 
 __all__ = ["FiniteCacheResult", "simulate_finite"]
 
@@ -63,58 +66,16 @@ def simulate_finite(
     displaced through :meth:`CoherenceProtocol.evict`, whose bus operations
     (dirty write-backs) are added to the tally.
     """
-    counters = SimulationCounters()
-    caches: List[FiniteCache] = [
-        FiniteCache(geometry) for _ in range(protocol.n_caches)
-    ]
-    units: Dict[int, int] = {}
-    by_process = sharing_model is SharingModel.PROCESS
-    evictions = 0
-    dirty_evictions = 0
-    for record in trace:
-        if record.access is AccessType.INSTR:
-            outcome = protocol.access(0, record.access, 0)
-            counters.record(outcome)
-            continue
-        key = record.pid if by_process else record.cpu
-        unit = units.get(key)
-        if unit is None:
-            unit = len(units)
-            if unit >= protocol.n_caches:
-                raise ValueError(
-                    f"trace has more than {protocol.n_caches} sharing units"
-                )
-            units[key] = unit
-        block = record.address // block_size
-        cache = caches[unit]
-        if not cache.touch(block):
-            victim = cache.insert(block)
-            if victim is not None:
-                evictions += 1
-                victim_ops = protocol.evict(unit, victim)
-                for op, count in victim_ops:
-                    counters.ops.add(op, count)
-                    dirty_evictions += 1
-        outcome = protocol.access(unit, record.access, block)
-        counters.record(outcome)
-        # The protocol may have invalidated blocks in other finite caches;
-        # mirror those removals so residency stays consistent.
-        holders = protocol.sharing.holders(block)
-        for other_unit, other_cache in enumerate(caches):
-            if other_unit != unit and not (holders >> other_unit) & 1:
-                other_cache.invalidate(block)
-    result = SimulationResult(
-        protocol_name=protocol.name,
-        protocol_label=protocol.label,
-        trace_name=trace_name,
-        counters=counters,
-        n_caches=protocol.n_caches,
+    pipeline = ReferencePipeline(
+        protocol,
+        geometry=geometry,
         block_size=block_size,
         sharing_model=sharing_model,
     )
+    result = pipeline.run(trace, trace_name)
     return FiniteCacheResult(
         result=result,
-        evictions=evictions,
-        dirty_evictions=dirty_evictions,
+        evictions=result.counters.evictions,
+        dirty_evictions=result.counters.dirty_evictions,
         geometry=geometry,
     )

@@ -2,11 +2,12 @@
 
 Trace-driven simulation and random property tests sample behaviour; for a
 small machine the state space can simply be **enumerated**.  This module
-drives a protocol (wrapped in the value-tracking
-:class:`~repro.core.oracle.CoherenceOracle`) through *every* access
-sequence of bounded depth over a few caches and blocks, proving — not
-sampling — that no interleaving of reads and writes can make any cache
-observe stale data within that bound.
+drives a protocol — through the oracle-checked
+:class:`~repro.core.pipeline.ReferencePipeline`, the same engine every
+simulation mode runs on — through *every* access sequence of bounded depth
+over a few caches and blocks, proving — not sampling — that no
+interleaving of reads and writes can make any cache observe stale data
+within that bound.
 
 Two caches, one block and depth 8 already cover every two-party coherence
 dance (read/read, read/write, write/write hand-offs in every order); three
@@ -27,7 +28,9 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..protocols.base import CoherenceProtocol
 from ..trace.record import AccessType
-from .oracle import CoherenceOracle, CoherenceViolation
+from .counters import SimulationCounters
+from .oracle import CoherenceViolation
+from .pipeline import ReferencePipeline
 
 __all__ = ["ModelCheckReport", "model_check"]
 
@@ -99,21 +102,25 @@ def model_check(
     sequences = 0
     steps_executed = 0
 
-    root = CoherenceOracle(protocol_factory(n_caches))
-    # Iterative DFS over (oracle_state, prefix, remaining_depth).  States are
-    # deep-copied on branching; at the leaf we also run the final sweep.
-    stack: List[Tuple[CoherenceOracle, Tuple[Step, ...]]] = [(root, ())]
+    # Each state is a value-checked reference pipeline (the unified engine
+    # with ``check_values=True``), so the enumeration exercises exactly the
+    # per-reference path every simulation mode runs — a pipeline regression
+    # that breaks coherence fails here by exhaustion, not by sampling.
+    root = ReferencePipeline(protocol_factory(n_caches), check_values=True)
+    # Iterative DFS over (pipeline_state, prefix, remaining_depth).  States
+    # are deep-copied on branching; at the leaf we also run the final sweep.
+    stack: List[Tuple[ReferencePipeline, Tuple[Step, ...]]] = [(root, ())]
     while stack:
-        oracle, prefix = stack.pop()
+        pipeline, prefix = stack.pop()
         if len(prefix) == depth:
             continue
         for step in alphabet:
-            child = copy.deepcopy(oracle)
+            child = copy.deepcopy(pipeline)
             cache, access, block = step
             steps_executed += 1
             try:
-                child.access(cache, access, block)
-                child.check_all_copies()
+                child.step(cache, access, block, SimulationCounters())
+                child.oracle.check_all_copies()
             except CoherenceViolation as violation:
                 return ModelCheckReport(
                     protocol=protocol_name,

@@ -162,23 +162,26 @@ def validate_coherence(
 ) -> OracleReport:
     """Replay a trace through the oracle; raise on any stale read.
 
-    Returns a report with how many copy checks the run performed.
+    This is the unified reference pipeline with ``check_values=True`` — the
+    same feed loop as :func:`~repro.core.simulator.simulate`, with every
+    access routed through the oracle.  Returns a report with how many copy
+    checks the run performed.
     """
-    oracle = CoherenceOracle(protocol)
-    units: Dict[int, int] = {}
-    by_process = sharing_model is SharingModel.PROCESS
-    references = 0
-    for record in trace:
-        if record.access is AccessType.INSTR:
-            references += 1
-            continue
-        key = record.pid if by_process else record.cpu
-        unit = units.setdefault(key, len(units))
-        oracle.access(unit, record.access, record.address // block_size)
-        references += 1
+    from .counters import SimulationCounters
+    from .pipeline import ReferencePipeline
+
+    pipeline = ReferencePipeline(
+        protocol,
+        block_size=block_size,
+        sharing_model=sharing_model,
+        check_values=True,
+    )
+    counters = SimulationCounters()
+    pipeline.feed(trace, counters)
+    oracle = pipeline.oracle
     oracle.check_all_copies()
     return OracleReport(
-        references=references,
+        references=counters.references,
         writes=oracle.writes,
         copies_checked=oracle.copies_checked,
     )

@@ -1,0 +1,363 @@
+"""The reference pipeline: one engine behind every simulation mode.
+
+The paper's methodology is a single conceptual pipeline — an interleaved
+trace feeds per-cache state, the protocol transitions on each reference,
+and the bus operations it emits are tallied for later pricing.  This module
+is that pipeline, composable and reused verbatim by every execution mode:
+
+* **infinite caches** (the paper's Section 4 methodology) — the geometry
+  stage is a passthrough;
+* **finite caches** (the Section 4 "finite cache size" first-order remark,
+  measured directly) — a set-associative LRU stage injects capacity and
+  conflict displacements into the protocol state;
+* **chunked execution** (the runner's sharding) — protocol state threads
+  through consecutive chunks while each chunk tallies into its own
+  counters, which merge back exactly;
+* **oracle-checked execution** (value-level coherence validation) — every
+  access is routed through the :class:`~repro.core.oracle.CoherenceOracle`
+  instead of the bare protocol.
+
+Stages compose: a chunked finite run, or an oracle-checked finite run, is
+just a pipeline with both options set.  The *only* reference-feed loop in
+the package lives in :meth:`ReferencePipeline.feed`; everything else —
+``simulate``, ``simulate_chunks``, ``simulate_finite``,
+``validate_coherence``, ``model_check`` — is a wrapper over it, so a new
+scenario (policy, geometry, workload) is one pipeline stage instead of a
+fourth copy of the loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..interconnect.bus import BusCostModel
+from ..interconnect.costs import CostSummary, summarize_costs
+from ..memory.cache import CacheGeometry, FiniteCache
+from ..protocols.base import CoherenceProtocol
+from ..trace.record import DEFAULT_BLOCK_SIZE, AccessType, TraceRecord
+from ..trace.stream import SharingModel
+from .counters import EventFrequencies, SimulationCounters
+from .invalidation import InvalidationHistogram
+from .oracle import CoherenceOracle
+
+__all__ = [
+    "GeometryStage",
+    "InfinitePassthrough",
+    "SetAssociativeLRU",
+    "ReferencePipeline",
+    "SimulationResult",
+]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one (protocol, trace) simulation.
+
+    ``geometry`` is the cache-geometry spec the run used (``"64x4"`` style,
+    see :meth:`~repro.memory.cache.CacheGeometry.spec`), or ``None`` for
+    the paper's infinite caches.
+    """
+
+    protocol_name: str
+    protocol_label: str
+    trace_name: str
+    counters: SimulationCounters
+    n_caches: int
+    block_size: int
+    sharing_model: SharingModel
+    geometry: Optional[str] = None
+
+    @property
+    def references(self) -> int:
+        return self.counters.references
+
+    @property
+    def evictions(self) -> int:
+        """Capacity/conflict displacements (0 under infinite caches)."""
+        return self.counters.evictions
+
+    @property
+    def dirty_evictions(self) -> int:
+        return self.counters.dirty_evictions
+
+    def frequencies(self) -> EventFrequencies:
+        """Event rates in percent of all references (Table 4 column)."""
+        return self.counters.frequencies()
+
+    def cost_summary(self, bus: BusCostModel) -> CostSummary:
+        """Bus cycles per reference under ``bus`` (Table 5 column)."""
+        return summarize_costs(self.protocol_label, self.counters.ops, bus)
+
+    def cycles_per_reference(self, bus: BusCostModel) -> float:
+        return self.cost_summary(bus).cycles_per_reference
+
+    @property
+    def invalidation_histogram(self) -> InvalidationHistogram:
+        """Fan-out distribution of writes to previously-clean blocks (Fig 1)."""
+        return self.counters.fanout
+
+
+class GeometryStage(abc.ABC):
+    """A cache-geometry stage: sits between unit resolution and the protocol.
+
+    The pipeline calls :meth:`before_access` with each data reference before
+    the protocol sees it (the stage makes the block resident, displacing a
+    victim if needed) and :meth:`after_access` afterwards (the stage mirrors
+    any coherence invalidations the protocol performed).  Instruction
+    fetches bypass the stage entirely — the paper excludes instruction
+    traffic from the data caches throughout.
+
+    To add a geometry or replacement policy, subclass this and pass an
+    instance as ``ReferencePipeline(stage=...)``; see docs/architecture.md.
+    """
+
+    #: spec string carried into :attr:`SimulationResult.geometry`
+    spec: Optional[str] = None
+
+    @abc.abstractmethod
+    def before_access(
+        self, unit: int, block: int, counters: SimulationCounters
+    ) -> None:
+        """Make ``block`` resident in ``unit``'s cache, tallying displacements."""
+
+    @abc.abstractmethod
+    def after_access(self, unit: int, block: int) -> None:
+        """Reconcile residency with the protocol's post-access sharing state."""
+
+
+class InfinitePassthrough(GeometryStage):
+    """The paper's infinite caches: nothing is ever displaced.
+
+    The pipeline treats a ``None`` stage as this passthrough without paying
+    the two method calls per reference; the class exists so the infinite
+    geometry has an explicit, documentable place in the stage taxonomy.
+    """
+
+    spec = None
+
+    def before_access(
+        self, unit: int, block: int, counters: SimulationCounters
+    ) -> None:
+        return None
+
+    def after_access(self, unit: int, block: int) -> None:
+        return None
+
+
+class SetAssociativeLRU(GeometryStage):
+    """Set-associative LRU caches with displacement injection.
+
+    Before each data access the block is made resident in the accessing
+    cache; any victim is displaced through
+    :meth:`~repro.protocols.base.CoherenceProtocol.evict`, whose bus
+    operations (dirty write-backs) are added to the tally.  After the
+    access, blocks the protocol invalidated in other caches are dropped
+    from their finite caches so residency stays consistent.
+
+    The paper's footnote that "coherency-related misses will be fewer in a
+    finite-sized cache" (some would-be-invalidated blocks have already been
+    purged) emerges naturally from this construction.
+    """
+
+    def __init__(self, protocol: CoherenceProtocol, geometry: CacheGeometry) -> None:
+        self.protocol = protocol
+        self.geometry = geometry
+        self.spec = geometry.spec
+        self.caches = [FiniteCache(geometry) for _ in range(protocol.n_caches)]
+
+    def before_access(
+        self, unit: int, block: int, counters: SimulationCounters
+    ) -> None:
+        cache = self.caches[unit]
+        if not cache.touch(block):
+            victim = cache.insert(block)
+            if victim is not None:
+                counters.evictions += 1
+                ops = counters.ops
+                for op, count in self.protocol.evict(unit, victim):
+                    ops.add(op, count)
+                    counters.dirty_evictions += 1
+
+    def after_access(self, unit: int, block: int) -> None:
+        holders = self.protocol.sharing.holders(block)
+        for other_unit, other_cache in enumerate(self.caches):
+            if other_unit != unit and not (holders >> other_unit) & 1:
+                other_cache.invalidate(block)
+
+
+class ReferencePipeline:
+    """One engine: trace source -> unit map -> geometry -> protocol -> counters.
+
+    The pipeline owns everything that must survive a chunk boundary — the
+    protocol, the sharing-unit registry, the geometry stage's residency,
+    the oracle's version bookkeeping, and the invariant-check cadence — so
+    feeding a trace in any number of consecutive pieces is bit-identical to
+    feeding it whole.
+
+    Args:
+        protocol: a freshly constructed protocol (its cache count bounds
+            the number of distinct sharing units the trace may contain).
+        geometry: finite-cache geometry; ``None`` (default) simulates the
+            paper's infinite caches.
+        stage: an explicit :class:`GeometryStage`, overriding ``geometry``
+            (for custom policies).
+        block_size: bytes per block (the paper uses 16 throughout).
+        sharing_model: classify sharing by process (paper default) or by
+            processor.
+        check_invariants_every: if positive, assert the single-writer
+            invariant on the sharing table every N references (slow; meant
+            for tests).
+        check_values: wrap every access in a value-tracking
+            :class:`~repro.core.oracle.CoherenceOracle`, raising
+            :class:`~repro.core.oracle.CoherenceViolation` on any stale
+            read (the oracle is exposed as :attr:`oracle`).
+    """
+
+    def __init__(
+        self,
+        protocol: CoherenceProtocol,
+        *,
+        geometry: Optional[CacheGeometry] = None,
+        stage: Optional[GeometryStage] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        sharing_model: SharingModel = SharingModel.PROCESS,
+        check_invariants_every: int = 0,
+        check_values: bool = False,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        if stage is None and geometry is not None:
+            stage = SetAssociativeLRU(protocol, geometry)
+        if isinstance(stage, InfinitePassthrough):
+            stage = None  # the hot loop skips the two no-op calls
+        self.protocol = protocol
+        self.block_size = block_size
+        self.sharing_model = sharing_model
+        self.check_invariants_every = check_invariants_every
+        self.oracle: Optional[CoherenceOracle] = (
+            CoherenceOracle(protocol) if check_values else None
+        )
+        self._access: Callable[[int, AccessType, int], object] = (
+            self.oracle.access if self.oracle is not None else protocol.access
+        )
+        self._stage = stage
+        self._units: dict = {}
+        self._by_process = sharing_model is SharingModel.PROCESS
+        self._processed = 0
+
+    # -- the engine ------------------------------------------------------------
+
+    def resolve_unit(self, record: TraceRecord) -> int:
+        """Dense cache index for the record's sharing unit (pid or cpu).
+
+        The registry is pipeline-owned, so a chunked run assigns the same
+        indices as a single-pass run.
+        """
+        units = self._units
+        key = record.pid if self._by_process else record.cpu
+        unit = units.get(key)
+        if unit is None:
+            unit = len(units)
+            if unit >= self.protocol.n_caches:
+                raise ValueError(
+                    f"trace has more than {self.protocol.n_caches} sharing "
+                    f"units; construct the protocol with more caches"
+                )
+            units[key] = unit
+        return unit
+
+    def step(
+        self,
+        unit: int,
+        access: AccessType,
+        block: int,
+        counters: SimulationCounters,
+    ):
+        """Push one resolved reference through geometry -> protocol -> tally.
+
+        Returns the protocol's :class:`~repro.protocols.base.AccessOutcome`.
+        This is the whole per-reference pipeline body; the model checker
+        drives it directly with enumerated (cache, access, block) steps.
+        """
+        stage = self._stage
+        data = access is not AccessType.INSTR
+        if stage is not None and data:
+            stage.before_access(unit, block, counters)
+        outcome = self._access(unit, access, block)
+        counters.record(outcome)
+        if stage is not None and data:
+            stage.after_access(unit, block)
+        self._processed += 1
+        every = self.check_invariants_every
+        if every and self._processed % every == 0:
+            self.protocol.sharing.check_invariants()
+        return outcome
+
+    def feed(self, trace: Iterable[TraceRecord], counters: SimulationCounters) -> None:
+        """Feed a trace (or one chunk of it) through the pipeline.
+
+        This is the package's only reference-feed loop.  State persists
+        across calls, so consecutive ``feed`` calls with fresh counters are
+        the chunking contract: chunk boundaries affect only how *counts*
+        are accumulated, never the pipeline's state.
+        """
+        step = self.step
+        resolve = self.resolve_unit
+        block_size = self.block_size
+        for record in trace:
+            step(
+                resolve(record),
+                record.access,
+                record.address // block_size,
+                counters,
+            )
+
+    # -- run wrappers ----------------------------------------------------------
+
+    def run(self, trace: Iterable[TraceRecord], trace_name: str = "trace") -> SimulationResult:
+        """Feed the whole trace and package the tallied result."""
+        counters = SimulationCounters()
+        self.feed(trace, counters)
+        return self.result(trace_name, counters)
+
+    def run_chunks(
+        self,
+        chunks: Iterable[Iterable[TraceRecord]],
+        trace_name: str = "trace",
+        chunk_done: Optional[Callable[[SimulationCounters], None]] = None,
+    ) -> SimulationResult:
+        """Feed a trace supplied as consecutive chunks, merging exactly.
+
+        Each chunk tallies into a fresh :class:`SimulationCounters` and the
+        per-chunk counters are merged, so the result is bit-identical to
+        one :meth:`run` over the concatenated trace — under any geometry
+        stage and with or without the oracle.  ``chunk_done``, when given,
+        receives each chunk's own counters as it completes (checkpoint and
+        progress hook for the runner).
+        """
+        merged = SimulationCounters()
+        for chunk in chunks:
+            counters = SimulationCounters()
+            self.feed(chunk, counters)
+            merged.merge(counters)
+            if chunk_done is not None:
+                chunk_done(counters)
+        return self.result(trace_name, merged)
+
+    def result(
+        self, trace_name: str, counters: SimulationCounters
+    ) -> SimulationResult:
+        """Package ``counters`` as this pipeline's :class:`SimulationResult`."""
+        stage = self._stage
+        return SimulationResult(
+            protocol_name=self.protocol.name,
+            protocol_label=self.protocol.label,
+            trace_name=trace_name,
+            counters=counters,
+            n_caches=self.protocol.n_caches,
+            block_size=self.block_size,
+            sharing_model=self.sharing_model,
+            geometry=stage.spec if stage is not None else None,
+        )

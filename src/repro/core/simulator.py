@@ -1,4 +1,4 @@
-"""The trace-driven multiprocessor simulator.
+"""The trace-driven multiprocessor simulator (pipeline front-end).
 
 One simulation run feeds every record of a multiprocessor trace through a
 coherence protocol's state machine, classifying references into Table 4
@@ -7,58 +7,26 @@ paper's method (Section 4.1), hardware costs are *not* applied here — the
 returned :class:`SimulationResult` carries raw counts, and any number of bus
 models can be priced against it afterwards.
 
-Sharing is classified at **process** level by default (one infinite cache
-per process, Section 4.4); pass ``SharingModel.PROCESSOR`` to key caches by
-CPU instead.
+Sharing is classified at **process** level by default (one cache per
+process, Section 4.4); pass ``SharingModel.PROCESSOR`` to key caches by CPU
+instead.  Caches are infinite (the paper's methodology) unless a
+``geometry`` is given, in which case a set-associative LRU stage injects
+displacements (see :mod:`repro.core.pipeline`, which owns the single
+reference-feed loop behind both entry points here).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Iterable, Optional
 
-from ..interconnect.bus import BusCostModel
-from ..interconnect.costs import CostSummary, summarize_costs
+from ..memory.cache import CacheGeometry
 from ..protocols.base import CoherenceProtocol
 from ..trace.record import DEFAULT_BLOCK_SIZE, TraceRecord
 from ..trace.stream import SharingModel
-from .counters import EventFrequencies, SimulationCounters
-from .invalidation import InvalidationHistogram
+from .counters import SimulationCounters
+from .pipeline import ReferencePipeline, SimulationResult
 
 __all__ = ["SimulationResult", "simulate", "simulate_chunks"]
-
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Outcome of one (protocol, trace) simulation."""
-
-    protocol_name: str
-    protocol_label: str
-    trace_name: str
-    counters: SimulationCounters
-    n_caches: int
-    block_size: int
-    sharing_model: SharingModel
-
-    @property
-    def references(self) -> int:
-        return self.counters.references
-
-    def frequencies(self) -> EventFrequencies:
-        """Event rates in percent of all references (Table 4 column)."""
-        return self.counters.frequencies()
-
-    def cost_summary(self, bus: BusCostModel) -> CostSummary:
-        """Bus cycles per reference under ``bus`` (Table 5 column)."""
-        return summarize_costs(self.protocol_label, self.counters.ops, bus)
-
-    def cycles_per_reference(self, bus: BusCostModel) -> float:
-        return self.cost_summary(bus).cycles_per_reference
-
-    @property
-    def invalidation_histogram(self) -> InvalidationHistogram:
-        """Fan-out distribution of writes to previously-clean blocks (Fig 1)."""
-        return self.counters.fanout
 
 
 def simulate(
@@ -68,6 +36,7 @@ def simulate(
     block_size: int = DEFAULT_BLOCK_SIZE,
     sharing_model: SharingModel = SharingModel.PROCESS,
     check_invariants_every: int = 0,
+    geometry: Optional[CacheGeometry] = None,
 ) -> SimulationResult:
     """Run ``protocol`` over ``trace`` and return the tallied result.
 
@@ -82,32 +51,21 @@ def simulate(
         check_invariants_every: if positive, assert the single-writer
             invariant on the sharing table every N references (slow; meant
             for tests).
+        geometry: finite-cache geometry; ``None`` (default) simulates the
+            paper's infinite caches.
 
     Raises:
         ValueError: if the trace contains more sharing units than the
             protocol has caches.
     """
-    if block_size <= 0:
-        raise ValueError(f"block_size must be positive, got {block_size}")
-    counters = SimulationCounters()
-    _feed(
+    pipeline = ReferencePipeline(
         protocol,
-        trace,
-        counters,
-        {},
-        by_process=sharing_model is SharingModel.PROCESS,
-        block_size=block_size,
-        check_invariants_every=check_invariants_every,
-    )
-    return SimulationResult(
-        protocol_name=protocol.name,
-        protocol_label=protocol.label,
-        trace_name=trace_name,
-        counters=counters,
-        n_caches=protocol.n_caches,
+        geometry=geometry,
         block_size=block_size,
         sharing_model=sharing_model,
+        check_invariants_every=check_invariants_every,
     )
+    return pipeline.run(trace, trace_name)
 
 
 def simulate_chunks(
@@ -118,85 +76,25 @@ def simulate_chunks(
     sharing_model: SharingModel = SharingModel.PROCESS,
     check_invariants_every: int = 0,
     chunk_done: Optional[Callable[[SimulationCounters], None]] = None,
+    geometry: Optional[CacheGeometry] = None,
 ) -> SimulationResult:
     """Simulate a trace supplied as consecutive chunks, merging exactly.
 
     The sharding invariant: chunk boundaries affect only how *counts* are
-    accumulated, never the protocol's state machine.  Protocol state (and
-    the sharing-unit registry) is threaded through the chunks in order,
-    each chunk tallies into a fresh :class:`SimulationCounters`, and the
-    per-chunk counters are merged — so the result is bit-identical to one
-    :func:`simulate` over the concatenated trace.  ``chunk_done``, when
-    given, receives each chunk's own counters as it completes (checkpoint
-    and progress hook for the runner).
+    accumulated, never the pipeline's state.  Pipeline state (protocol,
+    sharing-unit registry, and any finite-geometry residency) is threaded
+    through the chunks in order, each chunk tallies into a fresh
+    :class:`SimulationCounters`, and the per-chunk counters are merged — so
+    the result is bit-identical to one :func:`simulate` over the
+    concatenated trace, for infinite and finite geometries alike.
+    ``chunk_done``, when given, receives each chunk's own counters as it
+    completes (checkpoint and progress hook for the runner).
     """
-    if block_size <= 0:
-        raise ValueError(f"block_size must be positive, got {block_size}")
-    merged = SimulationCounters()
-    units: Dict[int, int] = {}
-    by_process = sharing_model is SharingModel.PROCESS
-    processed = 0
-    for chunk in chunks:
-        counters = SimulationCounters()
-        processed = _feed(
-            protocol,
-            chunk,
-            counters,
-            units,
-            by_process=by_process,
-            block_size=block_size,
-            check_invariants_every=check_invariants_every,
-            processed_offset=processed,
-        )
-        merged.merge(counters)
-        if chunk_done is not None:
-            chunk_done(counters)
-    return SimulationResult(
-        protocol_name=protocol.name,
-        protocol_label=protocol.label,
-        trace_name=trace_name,
-        counters=merged,
-        n_caches=protocol.n_caches,
+    pipeline = ReferencePipeline(
+        protocol,
+        geometry=geometry,
         block_size=block_size,
         sharing_model=sharing_model,
+        check_invariants_every=check_invariants_every,
     )
-
-
-def _feed(
-    protocol: CoherenceProtocol,
-    trace: Iterable[TraceRecord],
-    counters: SimulationCounters,
-    units: Dict[int, int],
-    *,
-    by_process: bool,
-    block_size: int,
-    check_invariants_every: int,
-    processed_offset: int = 0,
-) -> int:
-    """Feed ``trace`` through ``protocol``, tallying into ``counters``.
-
-    ``units`` is the sharing-unit registry, owned by the caller so that a
-    chunked run assigns the same dense cache indices as a single-pass run.
-    Returns the running reference count (offset included) so the
-    invariant-check cadence is also split-point independent.
-    """
-    access = protocol.access
-    record_outcome = counters.record
-    processed = processed_offset
-    for record in trace:
-        key = record.pid if by_process else record.cpu
-        unit = units.get(key)
-        if unit is None:
-            unit = len(units)
-            if unit >= protocol.n_caches:
-                raise ValueError(
-                    f"trace has more than {protocol.n_caches} sharing units; "
-                    f"construct the protocol with more caches"
-                )
-            units[key] = unit
-        outcome = access(unit, record.access, record.address // block_size)
-        record_outcome(outcome)
-        processed += 1
-        if check_invariants_every and processed % check_invariants_every == 0:
-            protocol.sharing.check_invariants()
-    return processed
+    return pipeline.run_chunks(chunks, trace_name, chunk_done)

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping
 
 from ..interconnect.bus import BusCostModel
 from ..protocols.base import CoherenceProtocol
-from ..trace.record import DEFAULT_BLOCK_SIZE, AccessType, TraceRecord
+from ..trace.record import DEFAULT_BLOCK_SIZE, TraceRecord
 from ..trace.stream import SharingModel
 
 __all__ = ["TimingResult", "simulate_timed"]

@@ -17,7 +17,7 @@ category, with the Section 5.1 fixed-overhead model available via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from .bus import TABLE5_CATEGORY, BusCostModel, BusOp, Table5Category

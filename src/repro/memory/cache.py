@@ -64,7 +64,13 @@ class InfiniteCache:
 
 
 class CacheGeometry:
-    """Size/associativity parameters of a finite cache."""
+    """Size/associativity parameters of a finite cache.
+
+    The canonical short form is the **spec string** ``"SETSxWAYS"``
+    (e.g. ``"64x4"`` = 64 sets, 4-way = 256 blocks), produced by
+    :attr:`spec` and accepted by :meth:`parse` — the form the sweep grid,
+    result cache key, and CLI flags all use.
+    """
 
     __slots__ = ("n_sets", "associativity")
 
@@ -76,12 +82,44 @@ class CacheGeometry:
         self.n_sets = n_sets
         self.associativity = associativity
 
+    @classmethod
+    def parse(cls, text: str) -> "CacheGeometry":
+        """Build a geometry from a ``"SETSxWAYS"`` spec string."""
+        parts = str(text).strip().lower().split("x")
+        if len(parts) != 2:
+            raise ValueError(
+                f"bad cache geometry {text!r}: expected SETSxWAYS, e.g. '64x4'"
+            )
+        try:
+            n_sets, associativity = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"bad cache geometry {text!r}: expected SETSxWAYS, e.g. '64x4'"
+            ) from None
+        return cls(n_sets, associativity)
+
+    @property
+    def spec(self) -> str:
+        """The ``"SETSxWAYS"`` spec string (round-trips through :meth:`parse`)."""
+        return f"{self.n_sets}x{self.associativity}"
+
     @property
     def capacity_blocks(self) -> int:
         return self.n_sets * self.associativity
 
     def set_of(self, block: int) -> int:
         return block & (self.n_sets - 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheGeometry):
+            return NotImplemented
+        return (
+            self.n_sets == other.n_sets
+            and self.associativity == other.associativity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_sets, self.associativity))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CacheGeometry(n_sets={self.n_sets}, associativity={self.associativity})"

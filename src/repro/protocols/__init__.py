@@ -20,7 +20,14 @@ from .events import (
     WRITE_MISS_EVENTS,
     Event,
 )
-from .registry import PAPER_CORE_SCHEMES, PROTOCOLS, create_protocol, protocol_names
+from .registry import (
+    PAPER_CORE_SCHEMES,
+    PROTOCOLS,
+    create_protocol,
+    protocol_names,
+    suggest_protocol,
+    unknown_protocol_message,
+)
 from .snoopy import WTI, Berkeley, CompetitiveUpdate, Dragon, Firefly, Illinois, WriteOnce
 from .software_flush import SoftwareFlush
 
@@ -48,6 +55,8 @@ __all__ = [
     "PROTOCOLS",
     "create_protocol",
     "protocol_names",
+    "suggest_protocol",
+    "unknown_protocol_message",
     "WTI",
     "Berkeley",
     "CompetitiveUpdate",

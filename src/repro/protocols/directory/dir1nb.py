@@ -21,7 +21,7 @@ import math
 
 from ...interconnect.bus import BusOp
 from ...memory.sharing import NO_OWNER
-from ..base import NO_OPS, AccessOutcome, CoherenceProtocol
+from ..base import AccessOutcome, CoherenceProtocol
 from ..events import Event
 
 __all__ = ["Dir1NB"]

@@ -8,7 +8,8 @@ configurations are available by calling the classes directly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import difflib
+from typing import Callable, Dict, List, Optional
 
 from .base import CoherenceProtocol
 from .directory.coarse import DirCoarse
@@ -33,6 +34,8 @@ __all__ = [
     "PAPER_CORE_SCHEMES",
     "create_protocol",
     "protocol_names",
+    "suggest_protocol",
+    "unknown_protocol_message",
 ]
 
 ProtocolFactory = Callable[[int], CoherenceProtocol]
@@ -66,13 +69,26 @@ PROTOCOLS: Dict[str, ProtocolFactory] = {
 PAPER_CORE_SCHEMES = ("dir1nb", "wti", "dir0b", "dragon")
 
 
+def suggest_protocol(name: str) -> Optional[str]:
+    """The closest registered protocol name, if any is plausibly close."""
+    matches = difflib.get_close_matches(name.lower(), PROTOCOLS, n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+def unknown_protocol_message(name: str) -> str:
+    """One-line error for an unrecognised scheme, with a did-you-mean hint."""
+    suggestion = suggest_protocol(name)
+    hint = f" (did you mean {suggestion!r}?)" if suggestion else ""
+    known = ", ".join(sorted(PROTOCOLS))
+    return f"unknown protocol {name!r}{hint}; known: {known}"
+
+
 def create_protocol(name: str, n_caches: int) -> CoherenceProtocol:
     """Instantiate a registered protocol by short name."""
     try:
         factory = PROTOCOLS[name.lower()]
     except KeyError:
-        known = ", ".join(sorted(PROTOCOLS))
-        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+        raise KeyError(unknown_protocol_message(name)) from None
     return factory(n_caches)
 
 

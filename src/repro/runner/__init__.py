@@ -17,13 +17,21 @@ how to add a sweep axis.
 """
 
 from .cache import ResultCache
-from .spec import CACHE_SCHEMA_VERSION, RunSpec, sweep_grid
+from .spec import (
+    CACHE_SCHEMA_VERSION,
+    INFINITE_GEOMETRY,
+    RunSpec,
+    normalize_geometry,
+    sweep_grid,
+)
 from .sweep import RunOutcome, SweepReport, run_sweep
 
 __all__ = [
     "ResultCache",
     "CACHE_SCHEMA_VERSION",
+    "INFINITE_GEOMETRY",
     "RunSpec",
+    "normalize_geometry",
     "sweep_grid",
     "RunOutcome",
     "SweepReport",

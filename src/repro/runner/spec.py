@@ -1,9 +1,9 @@
 """Sweep specifications: one cell of the experiment grid, hashable on disk.
 
 A :class:`RunSpec` names everything that determines a simulation's outcome —
-protocol, trace, scale, seed, cache count, block size, sharing model — and
-nothing that doesn't (worker count, cache directory, progress hooks).  Two
-consequences fall out of that discipline:
+protocol, trace, scale, seed, cache count, block size, cache geometry,
+sharing model — and nothing that doesn't (worker count, cache directory,
+progress hooks).  Two consequences fall out of that discipline:
 
 * a spec can be shipped to a worker process and executed there with no
   shared state, and
@@ -14,36 +14,77 @@ The cache key hashes the spec's simulation parameters **plus the fully
 resolved workload profile** (every calibrated field, including the seed and
 scaled region sizes).  Recalibrating a workload therefore invalidates cached
 results automatically; only genuinely identical runs hit.  A schema version
-is folded in so changes to the counting semantics can retire stale caches.
+*and the package version* are folded in, so counting-semantics changes and
+plain upgrades both retire stale caches — results pickled by an older
+``repro`` install can never be served as warm hits.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from .._version import __version__ as PACKAGE_VERSION
 from ..core.simulator import SimulationResult, simulate
+from ..memory.cache import CacheGeometry
 from ..protocols.base import CoherenceProtocol
-from ..protocols.registry import PAPER_CORE_SCHEMES, PROTOCOLS, create_protocol
+from ..protocols.registry import (
+    PAPER_CORE_SCHEMES,
+    PROTOCOLS,
+    create_protocol,
+    unknown_protocol_message,
+)
 from ..trace.record import DEFAULT_BLOCK_SIZE, TraceRecord
 from ..trace.stream import SharingModel
 from ..trace.synthetic import SyntheticWorkload, WorkloadProfile
 from ..trace.workloads import DEFAULT_SCALE, standard_profile, standard_trace_names
 
-__all__ = ["CACHE_SCHEMA_VERSION", "RunSpec", "sweep_grid"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "INFINITE_GEOMETRY",
+    "RunSpec",
+    "normalize_geometry",
+    "sweep_grid",
+]
 
 #: Bump when counting semantics or the result format change, so previously
-#: cached results stop matching.
-CACHE_SCHEMA_VERSION = 1
+#: cached results stop matching.  (The package version is folded into the
+#: key as well, so releases retire caches even without a schema bump.)
+CACHE_SCHEMA_VERSION = 2
+
+#: Spec-string spellings of the paper's infinite caches.
+INFINITE_GEOMETRY = "inf"
+_INFINITE_SPELLINGS = frozenset({"", INFINITE_GEOMETRY, "infinite"})
+
+
+def normalize_geometry(
+    geometry: Union[None, str, CacheGeometry],
+) -> Optional[str]:
+    """Canonical geometry spec string: ``None`` for infinite, else "SETSxWAYS".
+
+    Accepts ``None``, the spellings ``"inf"``/``"infinite"``/``""``, a
+    spec string like ``"64x4"``, or a :class:`CacheGeometry` instance.
+    Raises ``ValueError`` for anything unparsable.
+    """
+    if geometry is None:
+        return None
+    if isinstance(geometry, CacheGeometry):
+        return geometry.spec
+    text = str(geometry).strip().lower()
+    if text in _INFINITE_SPELLINGS:
+        return None
+    return CacheGeometry.parse(text).spec
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One cell of a sweep: (protocol, trace, scale, config, seed).
+    """One cell of a sweep: (protocol, trace, scale, config, geometry, seed).
 
     ``seed=None`` uses the trace's calibrated default seed; an explicit
-    seed re-seeds the workload (the sweep's variance axis).
+    seed re-seeds the workload (the sweep's variance axis).  ``geometry``
+    is a ``"SETSxWAYS"`` spec string (finite set-associative LRU caches) or
+    ``None`` for the paper's infinite caches.
     """
 
     protocol: str
@@ -53,13 +94,13 @@ class RunSpec:
     block_size: int = DEFAULT_BLOCK_SIZE
     sharing_model: SharingModel = SharingModel.PROCESS
     seed: Optional[int] = None
+    geometry: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocol", self.protocol.lower())
         object.__setattr__(self, "trace", self.trace.upper())
         if self.protocol not in PROTOCOLS:
-            known = ", ".join(sorted(PROTOCOLS))
-            raise ValueError(f"unknown protocol {self.protocol!r}; known: {known}")
+            raise ValueError(unknown_protocol_message(self.protocol))
         if self.trace not in standard_trace_names():
             known = ", ".join(standard_trace_names())
             raise ValueError(f"unknown trace {self.trace!r}; known: {known}")
@@ -69,6 +110,7 @@ class RunSpec:
             raise ValueError(f"n_caches must be positive, got {self.n_caches}")
         if self.block_size <= 0:
             raise ValueError(f"block_size must be positive, got {self.block_size}")
+        object.__setattr__(self, "geometry", normalize_geometry(self.geometry))
 
     # -- construction of the pieces -----------------------------------------
 
@@ -82,16 +124,24 @@ class RunSpec:
     def build_protocol(self) -> CoherenceProtocol:
         return create_protocol(self.protocol, self.n_caches)
 
+    def build_geometry(self) -> Optional[CacheGeometry]:
+        """The parsed cache geometry, or ``None`` for infinite caches."""
+        if self.geometry is None:
+            return None
+        return CacheGeometry.parse(self.geometry)
+
     # -- identity ------------------------------------------------------------
 
     def cache_key(self) -> str:
         """Stable content hash identifying this spec's result on disk."""
         token = "|".join(
             (
+                f"version={PACKAGE_VERSION}",
                 f"schema={CACHE_SCHEMA_VERSION}",
                 f"protocol={self.protocol}",
                 f"n_caches={self.n_caches}",
                 f"block_size={self.block_size}",
+                f"geometry={self.geometry or INFINITE_GEOMETRY}",
                 f"sharing={self.sharing_model.value}",
                 f"profile={self.profile()!r}",
             )
@@ -108,6 +158,7 @@ class RunSpec:
             trace_name=self.trace,
             block_size=self.block_size,
             sharing_model=self.sharing_model,
+            geometry=self.build_geometry(),
         )
 
 
@@ -117,14 +168,15 @@ def sweep_grid(
     scale: float = DEFAULT_SCALE,
     n_caches: int = 4,
     block_sizes: Sequence[int] = (DEFAULT_BLOCK_SIZE,),
+    geometries: Sequence[Union[None, str, CacheGeometry]] = (None,),
     sharing_models: Sequence[SharingModel] = (SharingModel.PROCESS,),
     seeds: Sequence[Optional[int]] = (None,),
 ) -> List[RunSpec]:
     """The cross product of every sweep axis, in deterministic order.
 
-    Axis order (outer to inner): protocol, trace, block size, sharing
-    model, seed — so results group by protocol the way the paper's tables
-    present them.
+    Axis order (outer to inner): protocol, trace, block size, geometry,
+    sharing model, seed — so results group by protocol the way the paper's
+    tables present them.
     """
     if not protocols:
         raise ValueError("at least one protocol is required")
@@ -138,10 +190,12 @@ def sweep_grid(
             block_size=block_size,
             sharing_model=sharing_model,
             seed=seed,
+            geometry=geometry,
         )
         for protocol in protocols
         for trace in trace_names
         for block_size in block_sizes
+        for geometry in geometries
         for sharing_model in sharing_models
         for seed in seeds
     ]

@@ -26,7 +26,7 @@ from ..core.comparison import ComparisonResult
 from ..core.simulator import SimulationResult
 from ..interconnect.bus import nonpipelined_bus, pipelined_bus
 from .cache import ResultCache
-from .spec import RunSpec
+from .spec import INFINITE_GEOMETRY, RunSpec
 
 __all__ = ["RunOutcome", "SweepReport", "run_sweep"]
 
@@ -146,14 +146,17 @@ class SweepReport:
         """Deterministic per-cell summary (identical across jobs/cache runs)."""
         pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
         header = (
-            f"{'protocol':<13}{'trace':<7}{'block':>6}{'sharing':>10}"
-            f"{'refs':>10}{'cyc/ref pipe':>14}{'cyc/ref nonp':>14}"
+            f"{'protocol':<13}{'trace':<7}{'block':>6}{'geometry':>10}"
+            f"{'sharing':>10}{'refs':>10}"
+            f"{'cyc/ref pipe':>14}{'cyc/ref nonp':>14}"
         )
         lines = [header, "-" * len(header)]
         for outcome in self.outcomes:
             spec, result = outcome.spec, outcome.result
+            geometry = spec.geometry or INFINITE_GEOMETRY
             lines.append(
                 f"{spec.protocol:<13}{spec.trace:<7}{spec.block_size:>6}"
+                f"{geometry:>10}"
                 f"{spec.sharing_model.value:>10}{result.references:>10}"
                 f"{result.cycles_per_reference(pipe):>14.6f}"
                 f"{result.cycles_per_reference(nonpipe):>14.6f}"

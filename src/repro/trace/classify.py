@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Set
+from typing import Dict, Iterable, Mapping, Set
 
 from .record import DEFAULT_BLOCK_SIZE, AccessType, TraceRecord
 

@@ -11,7 +11,7 @@ text: the read-to-write ratio, the fraction of reads that are lock spins
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, Set
 
 from .record import AccessType, DEFAULT_BLOCK_SIZE, TraceRecord
 

@@ -26,8 +26,8 @@ The engine is fully deterministic given a profile's seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .record import AccessType, TraceRecord
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Sequence
 
 from .record import TraceRecord
-from .synthetic import SyntheticWorkload, WorkloadProfile, dataclass_replace
+from .synthetic import SyntheticWorkload, WorkloadProfile
 
 __all__ = [
     "DEFAULT_SCALE",

@@ -149,9 +149,89 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--schemes", "nonesuch"])
 
+    def test_misspelt_scheme_gets_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(FAST + ["sweep", "--schemes", "dir0bb"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown protocol 'dir0bb' (did you mean 'dir0b'?)" in err
+
+    def test_bad_geometry_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(FAST + ["sweep", "--geometries", "64y4"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "bad cache geometry '64y4': expected SETSxWAYS" in err
+
+    def test_finite_geometry_grid_identical_across_jobs(self, capsys):
+        grid = [
+            "sweep",
+            "--schemes",
+            "dir0b",
+            "--traces",
+            "POPS",
+            "--geometries",
+            "8x2",
+            "inf",
+        ]
+        assert main(FAST + ["--jobs", "1"] + grid) == 0
+        serial = capsys.readouterr().out
+        assert main(FAST + ["--jobs", "2"] + grid) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "8x2" in serial and "inf" in serial
+
     def test_nonpositive_block_size_exits_cleanly(self):
         with pytest.raises(SystemExit, match="must be positive"):
             main(FAST + ["sweep", "--block-sizes", "-4"])
+
+
+class TestFiniteCommand:
+    #: Tiny grid: two schemes, two geometries, all three traces.
+    FINITE = [
+        "finite",
+        "--schemes",
+        "dir0b",
+        "wti",
+        "--geometries",
+        "8x2",
+        "inf",
+    ]
+
+    def test_prints_cycles_vs_geometry_table(self, capsys):
+        assert main(FAST + self.FINITE) == 0
+        captured = capsys.readouterr()
+        out = captured.out
+        assert "Bus cycles per reference vs cache geometry" in out
+        assert "dir0b" in out and "wti" in out
+        lines = out.strip().splitlines()
+        rows = [line.split()[0] for line in lines[3:]]
+        assert rows == ["8x2", "inf"]  # smallest cache first, infinite last
+        assert "refs/sec" in captured.err  # metrics stay on stderr
+
+    def test_output_is_deterministic(self, capsys):
+        assert main(FAST + self.FINITE) == 0
+        first = capsys.readouterr().out
+        assert main(FAST + ["--jobs", "2"] + self.FINITE) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_default_schemes_are_the_papers_four(self, capsys):
+        """Acceptance: cycles/ref vs cache size for Dir1NB, Dir0B, WTI, Dragon."""
+        assert main(
+            ["--scale", "2048", "finite", "--geometries", "8x2", "inf"]
+        ) == 0
+        out = capsys.readouterr().out
+        header = out.strip().splitlines()[1]
+        assert header.split() == ["geometry", "dir1nb", "wti", "dir0b", "dragon"]
+
+    def test_finite_caches_cost_more_cycles_than_infinite(self, capsys):
+        assert main(FAST + self.FINITE) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        finite_row = [float(x) for x in lines[3].split()[1:]]
+        infinite_row = [float(x) for x in lines[4].split()[1:]]
+        assert all(f > i for f, i in zip(finite_row, infinite_row))
 
 
 class TestErrorPaths:

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from conftest import run_ops
-from repro.interconnect.bus import BusOp, pipelined_bus
+from repro.interconnect.bus import pipelined_bus
 from repro.protocols.snoopy.competitive import CompetitiveUpdate
 from repro.protocols.snoopy.dragon import Dragon
 from repro.protocols.events import Event

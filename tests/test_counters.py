@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.counters import EventFrequencies, SimulationCounters
+from repro.core.counters import SimulationCounters
 from repro.interconnect.bus import BusOp
 from repro.protocols.base import AccessOutcome
 from repro.protocols.events import Event

@@ -18,7 +18,7 @@ from repro.analysis import (
 from repro.core import decompose_miss_rate, effective_processors, run_standard_comparison
 from repro.core.simulator import simulate
 from repro.interconnect import nonpipelined_bus, pipelined_bus
-from repro.protocols import Dir1B, create_protocol
+from repro.protocols import Dir1B
 from repro.trace import standard_trace, standard_trace_names
 
 SCALE = 1.0 / 16.0  # the calibrated scale; Dragon's sticky sharing needs full-length traces

@@ -64,10 +64,6 @@ class _InvalidatesTheWrongSharer(Dir0B):
 
 class TestCounterexamples:
     def test_two_party_bug_found(self):
-        import sys
-
-        from repro.core.oracle import CoherenceViolation  # noqa: F401
-
         class Broken(Dir0B):
             name = "broken"
 

@@ -1,7 +1,5 @@
 """Tests for the interconnection-network cost models and scaling analysis."""
 
-import math
-
 import pytest
 
 from conftest import trace_of

@@ -1,0 +1,181 @@
+"""Tests for the unified reference pipeline: stages, wrappers, composition.
+
+The behavioural equivalences (finite-vs-infinite counters, chunk merging)
+live in test_runner_merge_properties.py; this module exercises the pipeline
+API itself — stage selection, oracle wrapping, state threading, and the
+composability the refactor exists to provide.
+"""
+
+import pytest
+
+from repro.core.counters import SimulationCounters
+from repro.core.pipeline import (
+    GeometryStage,
+    InfinitePassthrough,
+    ReferencePipeline,
+    SetAssociativeLRU,
+)
+from repro.memory.cache import CacheGeometry
+from repro.protocols.registry import create_protocol
+from repro.trace.synthetic import SyntheticWorkload, WorkloadProfile
+
+_PROFILE = WorkloadProfile(name="PIPE", length=300, seed=11, processes=4)
+_TRACE = list(SyntheticWorkload(_PROFILE).records())
+_TINY = CacheGeometry(n_sets=4, associativity=2)
+
+
+def _pipeline(**kwargs) -> ReferencePipeline:
+    return ReferencePipeline(create_protocol("dir0b", 4), **kwargs)
+
+
+class TestStageSelection:
+    def test_no_geometry_means_no_stage(self):
+        result = _pipeline().run(_TRACE, "PIPE")
+        assert result.geometry is None
+        assert result.evictions == 0
+
+    def test_explicit_passthrough_is_equivalent_to_none(self):
+        bare = _pipeline().run(_TRACE, "PIPE")
+        passthrough = _pipeline(stage=InfinitePassthrough()).run(_TRACE, "PIPE")
+        assert passthrough.geometry is None
+        assert passthrough.counters.events == bare.counters.events
+        assert passthrough.counters.ops.ops == bare.counters.ops.ops
+
+    def test_geometry_builds_lru_stage_and_stamps_result(self):
+        result = _pipeline(geometry=_TINY).run(_TRACE, "PIPE")
+        assert result.geometry == "4x2"
+        assert result.evictions > 0
+
+    def test_custom_stage_overrides_geometry(self):
+        class CountingStage(GeometryStage):
+            spec = "custom"
+
+            def __init__(self):
+                self.before = 0
+                self.after = 0
+
+            def before_access(self, unit, block, counters):
+                self.before += 1
+
+            def after_access(self, unit, block):
+                self.after += 1
+
+        stage = CountingStage()
+        result = _pipeline(stage=stage).run(_TRACE, "PIPE")
+        assert result.geometry == "custom"
+        data_refs = sum(1 for r in _TRACE if r.access.name != "INSTR")
+        assert stage.before == stage.after == data_refs
+
+    def test_instruction_fetches_bypass_the_stage(self):
+        protocol = create_protocol("dir0b", 1)
+        pipeline = ReferencePipeline(protocol, geometry=_TINY)
+        stage = pipeline._stage
+        from repro.trace.record import AccessType
+
+        pipeline.step(0, AccessType.INSTR, 123, SimulationCounters())
+        assert isinstance(stage, SetAssociativeLRU)
+        assert not stage.caches[0].touch(123)
+
+    def test_rejects_nonpositive_block_size(self):
+        with pytest.raises(ValueError, match="block_size"):
+            _pipeline(block_size=0)
+
+
+class TestUnitResolution:
+    def test_too_many_sharing_units_rejected(self):
+        pipeline = ReferencePipeline(create_protocol("dir0b", 2))
+        with pytest.raises(ValueError, match="more than 2 sharing units"):
+            pipeline.run(_TRACE, "PIPE")
+
+    def test_unit_registry_threads_across_chunks(self):
+        whole = _pipeline().run(_TRACE, "PIPE")
+        halves = _pipeline().run_chunks(
+            [_TRACE[:150], _TRACE[150:]], "PIPE"
+        )
+        assert halves.counters.events == whole.counters.events
+
+
+class TestOracleWrapping:
+    def test_check_values_exposes_a_live_oracle(self):
+        pipeline = _pipeline(check_values=True)
+        assert pipeline.oracle is not None
+        pipeline.run(_TRACE, "PIPE")
+        assert pipeline.oracle.writes > 0
+        pipeline.oracle.check_all_copies()  # coherent protocol: no raise
+
+    def test_oracle_composes_with_finite_geometry(self):
+        pipeline = _pipeline(check_values=True, geometry=_TINY)
+        result = pipeline.run(_TRACE, "PIPE")
+        assert result.geometry == "4x2" and result.evictions > 0
+        pipeline.oracle.check_all_copies()
+
+    def test_oracle_composes_with_chunking(self):
+        pipeline = _pipeline(check_values=True)
+        chunked = pipeline.run_chunks([_TRACE[:100], _TRACE[100:]], "PIPE")
+        plain = _pipeline().run(_TRACE, "PIPE")
+        assert chunked.counters.events == plain.counters.events
+        pipeline.oracle.check_all_copies()
+
+
+class TestInvariantCadence:
+    def test_invariant_checks_run_on_schedule(self, monkeypatch):
+        from repro.memory import SharingTable
+
+        pipeline = _pipeline(check_invariants_every=50)
+        calls = []
+        original = SharingTable.check_invariants
+        monkeypatch.setattr(
+            SharingTable,
+            "check_invariants",
+            lambda self: calls.append(1) or original(self),
+        )
+        pipeline.run(_TRACE, "PIPE")
+        assert len(calls) == len(_TRACE) // 50
+
+
+class TestWrappersShareTheEngine:
+    def test_simulate_is_a_pipeline_wrapper(self):
+        from repro.core.simulator import simulate
+
+        direct = _pipeline().run(_TRACE, "PIPE")
+        wrapped = simulate(create_protocol("dir0b", 4), _TRACE, trace_name="PIPE")
+        assert wrapped.counters.events == direct.counters.events
+        assert wrapped.counters.ops.ops == direct.counters.ops.ops
+
+    def test_simulate_finite_is_a_pipeline_wrapper(self):
+        from repro.core.finite import simulate_finite
+
+        direct = _pipeline(geometry=_TINY).run(_TRACE, "PIPE")
+        wrapped = simulate_finite(
+            create_protocol("dir0b", 4), _TRACE, _TINY, trace_name="PIPE"
+        )
+        assert wrapped.result.counters.events == direct.counters.events
+        assert wrapped.evictions == direct.evictions
+        assert wrapped.dirty_evictions == direct.dirty_evictions
+
+    def test_every_wrapper_routes_through_the_one_feed_loop(self, monkeypatch):
+        """Acceptance: simulate, simulate_chunks, simulate_finite and
+        validate_coherence all drive ReferencePipeline.feed — the package's
+        single reference-feed loop — rather than iterating traces
+        themselves."""
+        from repro.core.finite import simulate_finite
+        from repro.core.oracle import validate_coherence
+        from repro.core.simulator import simulate, simulate_chunks
+
+        calls = []
+        original = ReferencePipeline.feed
+
+        def counting_feed(self, trace, counters):
+            calls.append(1)
+            return original(self, trace, counters)
+
+        monkeypatch.setattr(ReferencePipeline, "feed", counting_feed)
+
+        simulate(create_protocol("dir0b", 4), _TRACE)
+        assert len(calls) == 1
+        simulate_chunks(create_protocol("dir0b", 4), [_TRACE[:150], _TRACE[150:]])
+        assert len(calls) == 3  # one feed per chunk
+        simulate_finite(create_protocol("dir0b", 4), _TRACE, _TINY)
+        assert len(calls) == 4
+        validate_coherence(create_protocol("dir0b", 4), _TRACE)
+        assert len(calls) == 5

@@ -6,7 +6,6 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.memory.cache import CacheGeometry, FiniteCache
 from repro.memory.sharing import SharingTable, bit_count, iter_bits
-from repro.memory.state import LineState
 
 masks = st.integers(min_value=0, max_value=2**16 - 1)
 

@@ -17,6 +17,8 @@ from repro.protocols.registry import (
     PROTOCOLS,
     create_protocol,
     protocol_names,
+    suggest_protocol,
+    unknown_protocol_message,
 )
 from repro.interconnect.bus import BusOp
 from repro.trace.record import AccessType
@@ -53,6 +55,33 @@ class TestRegistry:
     def test_names_are_sorted(self):
         names = protocol_names()
         assert names == sorted(names)
+
+    @pytest.mark.parametrize(
+        "typo,expected",
+        [
+            ("dir0bb", "dir0b"),
+            ("dargon", "dragon"),
+            ("WTII", "wti"),
+            ("berkley", "berkeley"),
+        ],
+    )
+    def test_suggestions_for_near_misses(self, typo, expected):
+        assert suggest_protocol(typo) == expected
+
+    def test_no_suggestion_for_garbage(self):
+        assert suggest_protocol("zzzzqqqq") is None
+        message = unknown_protocol_message("zzzzqqqq")
+        assert "did you mean" not in message
+        assert "known:" in message
+
+    def test_unknown_message_is_one_line_with_hint(self):
+        message = unknown_protocol_message("dargon")
+        assert "\n" not in message
+        assert "did you mean 'dragon'?" in message
+
+    def test_create_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="did you mean 'dragon'"):
+            create_protocol("dargon", 4)
 
 
 class TestEventTaxonomy:

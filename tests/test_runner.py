@@ -23,6 +23,35 @@ class TestRunSpec:
         with pytest.raises(ValueError, match="unknown protocol"):
             RunSpec(protocol="nonesuch", trace="POPS")
 
+    def test_unknown_protocol_suggests_close_name(self):
+        with pytest.raises(ValueError, match="did you mean 'dir0b'"):
+            RunSpec(protocol="dir0bb", trace="POPS")
+
+    @pytest.mark.parametrize("spelling", [None, "", "inf", "infinite", "INF"])
+    def test_infinite_geometry_spellings_normalise_to_none(self, spelling):
+        spec = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE, geometry=spelling)
+        assert spec.geometry is None
+        assert spec.build_geometry() is None
+
+    def test_geometry_accepts_instance_and_spec_string(self):
+        from repro.memory import CacheGeometry
+
+        by_string = RunSpec(
+            protocol="dir0b", trace="POPS", scale=SCALE, geometry="64X4"
+        )
+        by_instance = RunSpec(
+            protocol="dir0b",
+            trace="POPS",
+            scale=SCALE,
+            geometry=CacheGeometry(n_sets=64, associativity=4),
+        )
+        assert by_string.geometry == by_instance.geometry == "64x4"
+        assert by_string.build_geometry() == CacheGeometry(64, 4)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="bad cache geometry"):
+            RunSpec(protocol="dir0b", trace="POPS", scale=SCALE, geometry="64y4")
+
     def test_rejects_unknown_trace(self):
         with pytest.raises(ValueError, match="unknown trace"):
             RunSpec(protocol="dir0b", trace="NOPE")
@@ -71,6 +100,7 @@ class TestCacheKey:
             dict(block_size=32),
             dict(sharing_model=SharingModel.PROCESSOR),
             dict(seed=99),
+            dict(geometry="64x4"),
         ],
     )
     def test_every_axis_changes_the_key(self, changed):
@@ -84,10 +114,42 @@ class TestCacheKey:
                 "block_size": base.block_size,
                 "sharing_model": base.sharing_model,
                 "seed": base.seed,
+                "geometry": base.geometry,
                 **changed,
             }
         )
         assert base.cache_key() != other.cache_key()
+
+    def test_package_version_bump_invalidates_the_key(self, monkeypatch):
+        """Upgrading repro must retire every previously cached result."""
+        import repro.runner.spec as spec_module
+
+        spec = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE)
+        before = spec.cache_key()
+        monkeypatch.setattr(spec_module, "PACKAGE_VERSION", "999.0.0")
+        assert spec.cache_key() != before
+
+    def test_schema_revision_bump_invalidates_the_key(self, monkeypatch):
+        import repro.runner.spec as spec_module
+
+        spec = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE)
+        before = spec.cache_key()
+        monkeypatch.setattr(
+            spec_module,
+            "CACHE_SCHEMA_VERSION",
+            spec_module.CACHE_SCHEMA_VERSION + 1,
+        )
+        assert spec.cache_key() != before
+
+    def test_version_bump_misses_a_warm_cache(self, tmp_path, monkeypatch):
+        import repro.runner.spec as spec_module
+
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE)
+        cache.put(spec.cache_key(), spec.run())
+        assert cache.get(spec.cache_key()) is not None
+        monkeypatch.setattr(spec_module, "PACKAGE_VERSION", "999.0.0")
+        assert cache.get(spec.cache_key()) is None
 
 
 class TestSweepGrid:
@@ -108,6 +170,15 @@ class TestSweepGrid:
             ("dir0b",), traces=("POPS",), scale=SCALE, block_sizes=(16, 32)
         )
         assert [s.block_size for s in specs] == [16, 32]
+
+    def test_geometry_axis(self):
+        specs = sweep_grid(
+            ("dir0b",),
+            traces=("POPS",),
+            scale=SCALE,
+            geometries=(None, "8x2", "64x4"),
+        )
+        assert [s.geometry for s in specs] == [None, "8x2", "64x4"]
 
     def test_empty_protocols_rejected(self):
         with pytest.raises(ValueError):
@@ -181,6 +252,22 @@ class TestRunSweep:
         for left, right in zip(serial.outcomes, parallel.outcomes):
             assert left.result.counters.events == right.result.counters.events
             assert left.result.counters.ops.ops == right.result.counters.ops.ops
+
+    def test_finite_geometry_grid_is_bit_identical_across_jobs(self):
+        """Acceptance: sweeps including finite geometries match serially."""
+        specs = sweep_grid(
+            ("dir0b", "wti"),
+            traces=("POPS",),
+            scale=SCALE,
+            geometries=(None, "8x2"),
+        )
+        serial = run_sweep(specs, jobs=1)
+        parallel = run_sweep(specs, jobs=2)
+        assert serial.cell_table() == parallel.cell_table()
+        for left, right in zip(serial.outcomes, parallel.outcomes):
+            assert left.result.counters.events == right.result.counters.events
+            assert left.result.counters.ops.ops == right.result.counters.ops.ops
+            assert left.result.counters.evictions == right.result.counters.evictions
 
     def test_warm_cache_rerun_of_table5_grid_simulates_nothing(self, tmp_path):
         """Acceptance: the full Table 5 grid, rerun warm, hits cache only."""

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.core.counters import SimulationCounters
 from repro.core.simulator import simulate, simulate_chunks
 from repro.interconnect.bus import BusOp
+from repro.memory.cache import CacheGeometry
 from repro.protocols.base import AccessOutcome
 from repro.protocols.events import Event
 from repro.protocols.registry import PROTOCOLS, create_protocol
@@ -42,6 +43,8 @@ def _counter_state(counters: SimulationCounters):
         counters.ops.transactions,
         counters.ops.references,
         counters.fanout.as_dict(),
+        counters.evictions,
+        counters.dirty_evictions,
     )
 
 
@@ -78,6 +81,44 @@ def test_chunk_done_hook_sees_partial_counters_that_sum_to_total():
     for chunk_counters in seen:
         recombined.merge(chunk_counters)
     assert _counter_state(recombined) == _counter_state(result.counters)
+
+
+# -- finite geometry through the unified pipeline ---------------------------
+
+#: Far larger than the trace's block footprint: the LRU stage can never
+#: displace, so the only difference from the infinite path is bookkeeping.
+_HUGE_GEOMETRY = CacheGeometry(n_sets=4096, associativity=4)
+#: Small enough that displacements actually happen on _TRACE.
+_TINY_GEOMETRY = CacheGeometry(n_sets=4, associativity=2)
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+def test_effectively_infinite_geometry_matches_infinite_run(protocol_name):
+    """The finite stage with a never-evicting geometry is a no-op: every
+    counter matches the infinite-cache run bit-for-bit, for every protocol."""
+    infinite = simulate(create_protocol(protocol_name, 4), _TRACE)
+    finite = simulate(
+        create_protocol(protocol_name, 4), _TRACE, geometry=_HUGE_GEOMETRY
+    )
+    assert _counter_state(finite.counters) == _counter_state(infinite.counters)
+    assert finite.counters.evictions == 0
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+@given(chunk_size=st.integers(min_value=1, max_value=len(_TRACE) + 10))
+@settings(**_SETTINGS)
+def test_finite_chunked_runs_merge_exactly(protocol_name, chunk_size):
+    """Sharding must stay merge-exact when the LRU stage is displacing."""
+    full = simulate(
+        create_protocol(protocol_name, 4), _TRACE, geometry=_TINY_GEOMETRY
+    )
+    chunked = simulate_chunks(
+        create_protocol(protocol_name, 4),
+        iter_chunks(_TRACE, chunk_size),
+        geometry=_TINY_GEOMETRY,
+    )
+    assert _counter_state(chunked.counters) == _counter_state(full.counters)
+    assert full.counters.evictions > 0
 
 
 # -- counter-level algebra (protocol independent) ---------------------------

@@ -79,3 +79,55 @@ class TestRelativeGap:
         }
         with pytest.raises(ValueError):
             relative_gap(lines, q=0)
+
+
+class TestFiniteSensitivity:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        from repro.core.simulator import simulate
+        from repro.memory.cache import CacheGeometry
+        from repro.protocols.registry import create_protocol
+        from repro.trace.synthetic import SyntheticWorkload, WorkloadProfile
+
+        profile = WorkloadProfile(name="SENS", length=250, seed=3, processes=4)
+        trace = list(SyntheticWorkload(profile).records())
+        out = []
+        for scheme in ("dir0b", "wti"):
+            for geometry in (None, CacheGeometry(4, 2)):
+                result = simulate(
+                    create_protocol(scheme, 4), trace, geometry=geometry
+                )
+                spec = geometry.spec if geometry else None
+                out.append((scheme, spec, result))
+        return out
+
+    def test_rows_ordered_smallest_cache_first_infinite_last(self, cells):
+        from repro.analysis.sensitivity import finite_sensitivity
+
+        table = finite_sensitivity(cells)
+        assert table.geometries == ("4x2", "inf")
+        assert table.schemes == ("dir0b", "wti")
+
+    def test_render_is_deterministic_and_complete(self, cells):
+        from repro.analysis.sensitivity import finite_sensitivity
+
+        first = finite_sensitivity(cells).render()
+        second = finite_sensitivity(list(cells)).render()
+        assert first == second
+        assert "4x2" in first and "inf" in first
+        assert "dir0b" in first and "wti" in first
+
+    def test_finite_row_costs_more(self, cells):
+        from repro.analysis.sensitivity import finite_sensitivity
+
+        table = finite_sensitivity(cells)
+        for scheme in table.schemes:
+            assert table.cycles["4x2"][scheme] > table.cycles["inf"][scheme]
+
+    def test_rejects_empty_and_ragged_input(self, cells):
+        from repro.analysis.sensitivity import finite_sensitivity
+
+        with pytest.raises(ValueError, match="at least one"):
+            finite_sensitivity([])
+        with pytest.raises(ValueError, match="cross"):
+            finite_sensitivity(cells[:-1])

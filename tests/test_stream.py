@@ -3,7 +3,7 @@
 import pytest
 
 from conftest import record
-from repro.trace.record import AccessType, TraceRecord
+from repro.trace.record import AccessType
 from repro.trace.stream import (
     SharingModel,
     count_sharing_units,
