@@ -3,8 +3,10 @@
 Not a paper experiment — a perf benchmark of the :mod:`repro.runner`
 subsystem so later PRs have a trajectory to compare against.  Beyond the
 human-readable artifact, it emits machine-readable
-``benchmarks/results/BENCH_sweep.json`` with refs/sec for the serial and
-parallel paths and the warm-cache replay latency.
+``benchmarks/results/BENCH_sweep.json`` assembled from each run's
+:class:`~repro.obs.metrics.MetricsRegistry` (via
+:meth:`~repro.runner.sweep.SweepReport.metrics_dict`), so the bench
+artifact and ``repro-coherence sweep --metrics-json`` share one schema.
 
 Parallel speedup depends on the machine: on a single hardware thread the
 worker pool only adds overhead, which is itself worth tracking.
@@ -18,6 +20,7 @@ import time
 
 from conftest import RESULTS_DIR, SCALE
 
+from repro.obs import MetricsRegistry
 from repro.runner import ResultCache, run_sweep, sweep_grid
 
 #: A grid small enough to run three times (serial, parallel, cached).
@@ -28,14 +31,17 @@ SWEEP_JOBS = int(os.environ.get("REPRO_BENCH_SWEEP_JOBS", "2"))
 def test_sweep_throughput_and_cache_latency(tmp_path_factory, save_result):
     specs = sweep_grid(SWEEP_SCHEMES, scale=SCALE)
 
-    serial = run_sweep(specs, jobs=1)
-    parallel = run_sweep(specs, jobs=SWEEP_JOBS)
+    serial = run_sweep(specs, jobs=1, registry=MetricsRegistry())
+    parallel = run_sweep(specs, jobs=SWEEP_JOBS, registry=MetricsRegistry())
     assert serial.cell_table() == parallel.cell_table()
 
-    cache = ResultCache(tmp_path_factory.mktemp("sweep-cache"))
-    cold = run_sweep(specs, jobs=1, cache=cache)
+    cache_registry = MetricsRegistry()
+    cache = ResultCache(
+        tmp_path_factory.mktemp("sweep-cache"), registry=cache_registry
+    )
+    cold = run_sweep(specs, jobs=1, cache=cache, registry=cache_registry)
     start = time.perf_counter()
-    warm = run_sweep(specs, jobs=1, cache=cache)
+    warm = run_sweep(specs, jobs=1, cache=cache, registry=cache_registry)
     warm_wall = time.perf_counter() - start
     assert warm.simulations == 0
     assert warm.cell_table() == serial.cell_table()
@@ -48,26 +54,17 @@ def test_sweep_throughput_and_cache_latency(tmp_path_factory, save_result):
             "scale_denominator": round(1.0 / SCALE),
             "references": serial.total_references,
         },
-        "serial": {
-            "wall_s": serial.wall_time,
-            "refs_per_sec": serial.refs_per_sec,
-        },
-        "parallel": {
-            "jobs": SWEEP_JOBS,
-            "wall_s": parallel.wall_time,
-            "refs_per_sec": parallel.refs_per_sec,
-            "speedup": (
+        "serial": serial.metrics_dict(),
+        "parallel": parallel.metrics_dict(),
+        "cache_cold": cold.metrics_dict(),
+        "cache_warm": warm.metrics_dict(),
+        "derived": {
+            "parallel_speedup": (
                 serial.wall_time / parallel.wall_time
                 if parallel.wall_time > 0
                 else 0.0
             ),
-            "workers": len(parallel.worker_timings()),
-        },
-        "cache": {
-            "cold_wall_s": cold.wall_time,
-            "warm_wall_s": warm_wall,
-            "hits": warm.cache_hits,
-            "hit_latency_s_per_cell": (
+            "cache_hit_latency_s_per_cell": (
                 warm_wall / warm.cells if warm.cells else 0.0
             ),
         },
@@ -76,6 +73,14 @@ def test_sweep_throughput_and_cache_latency(tmp_path_factory, save_result):
     (RESULTS_DIR / "BENCH_sweep.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+    # The cold+warm runs shared one registry: its counters must add up.
+    snapshot = cache_registry.as_dict()["counters"]
+    assert snapshot["sweep.cells"] == 2 * len(specs)
+    assert snapshot["sweep.simulated"] == len(specs)
+    assert snapshot["sweep.cache_hits"] == len(specs)
+    assert snapshot["cache.hit"] == len(specs)
+    assert snapshot["cache.miss"] == len(specs)
 
     save_result(
         "sweep_runner",
@@ -88,9 +93,9 @@ def test_sweep_throughput_and_cache_latency(tmp_path_factory, save_result):
                 f"parallel: {parallel.wall_time:8.2f}s  "
                 f"{parallel.refs_per_sec:12,.0f} refs/sec  "
                 f"(jobs={SWEEP_JOBS}, "
-                f"speedup {payload['parallel']['speedup']:.2f}x)",
+                f"speedup {payload['derived']['parallel_speedup']:.2f}x)",
                 f"cache:    {warm_wall:8.2f}s warm replay  "
-                f"({payload['cache']['hit_latency_s_per_cell'] * 1e3:.1f} "
+                f"({payload['derived']['cache_hit_latency_s_per_cell'] * 1e3:.1f} "
                 "ms/cell)",
             ]
         ),

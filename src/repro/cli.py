@@ -6,6 +6,7 @@ Subcommands::
     repro-coherence sweep    [--schemes ...] [--traces ...] [--block-sizes ...]
                              [--geometries ...]
     repro-coherence finite   [--schemes ...] [--geometries ...] [--scale N]
+    repro-coherence profile  [--protocols ...] [--traces ...] [--geometry G]
     repro-coherence table4   [--scale N]
     repro-coherence table5   [--scale N]
     repro-coherence figure1  [--scale N]
@@ -24,11 +25,19 @@ fans simulations across worker processes and ``--cache-dir`` enables the
 on-disk result cache; both apply to ``sweep`` and to the table/figure
 commands, always with bit-identical results to the serial path.  Sweep
 tables go to stdout; progress and throughput/cache metrics go to stderr.
+
+Observability (see docs/observability.md): ``--log-level``/``-v`` raise
+logging verbosity and ``--log-json`` switches to JSON-lines logs;
+``compare``/``sweep``/``finite`` accept ``--emit-trace FILE`` (stream every
+reference to a Chrome-trace/Perfetto file; forces inline, uncached
+execution) and ``--metrics-json FILE`` (dump the sweep's metrics registry);
+``profile`` prints a per-stage wall-time breakdown of the pipeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -41,8 +50,14 @@ from .analysis import (
     table4,
     table5,
 )
-from .core import run_standard_comparison
 from .interconnect import nonpipelined_bus, pipelined_bus
+from .obs import (
+    ChromeTraceSink,
+    MetricsRegistry,
+    get_logger,
+    profile_spec,
+    setup_logging,
+)
 from .protocols import (
     PAPER_CORE_SCHEMES,
     PROTOCOLS,
@@ -115,7 +130,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="serve repeated simulations from an on-disk result cache",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="logging verbosity (default: warning)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise log verbosity (-v: info, -vv: debug)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines instead of text",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--emit-trace",
+            default=None,
+            metavar="FILE",
+            help=(
+                "stream every reference to a Chrome-trace/Perfetto JSON file "
+                "(forces inline, uncached execution)"
+            ),
+        )
+        command.add_argument(
+            "--metrics-json",
+            default=None,
+            metavar="FILE",
+            help="write the run's metrics registry as JSON",
+        )
 
     compare = sub.add_parser("compare", help="bus cycles per reference per scheme")
     compare.add_argument(
@@ -126,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCHEME",
         help=f"schemes to compare (choices: {', '.join(protocol_names())})",
     )
+    add_obs_flags(compare)
 
     sweep = sub.add_parser(
         "sweep", help="parallel sweep over a protocol x trace x config grid"
@@ -174,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--n-caches", type=int, default=4, help="caches per system (default 4)"
     )
+    add_obs_flags(sweep)
 
     finite = sub.add_parser(
         "finite",
@@ -200,6 +252,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     finite.add_argument(
         "--n-caches", type=int, default=4, help="caches per system (default 4)"
+    )
+    add_obs_flags(finite)
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-stage wall-time breakdown of the reference pipeline",
+    )
+    profile.add_argument(
+        "--protocols",
+        "--schemes",
+        dest="protocols",
+        nargs="+",
+        default=["dir0b"],
+        type=_scheme_arg,
+        metavar="SCHEME",
+        help=f"schemes to profile (choices: {', '.join(protocol_names())})",
+    )
+    profile.add_argument(
+        "--traces",
+        nargs="+",
+        default=["POPS"],
+        choices=list(standard_trace_names()),
+        metavar="TRACE",
+    )
+    profile.add_argument(
+        "--geometry",
+        type=_geometry_arg,
+        default=None,
+        metavar="SETSxWAYS",
+        help="finite cache geometry (default: the paper's infinite caches)",
+    )
+    profile.add_argument(
+        "--n-caches", type=int, default=4, help="caches per system (default 4)"
+    )
+    profile.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="FILE",
+        help="write the accumulated stage timers as JSON",
     )
 
     sub.add_parser("table4", help="event frequencies (paper Table 4)")
@@ -260,12 +351,11 @@ def _jobs(args: argparse.Namespace) -> int:
 
 def _comparison(args: argparse.Namespace, schemes=PAPER_CORE_SCHEMES):
     """Run the standard grid through the sweep runner (jobs/cache honoured)."""
-    return run_standard_comparison(
-        tuple(schemes),
-        scale=_scale(args),
-        jobs=_jobs(args),
-        cache_dir=args.cache_dir,
-    )
+    try:
+        specs = sweep_grid(tuple(schemes), scale=_scale(args))
+    except ValueError as error:
+        raise SystemExit(f"{args.command}: {error}") from error
+    return _run_grid(args, specs).comparison()
 
 
 def _cmd_compare(args: argparse.Namespace) -> None:
@@ -295,8 +385,16 @@ def _cmd_figure1(args: argparse.Namespace) -> None:
 
 
 def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
-    """Run a spec grid with the CLI's jobs/cache/progress plumbing."""
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    """Run a spec grid with the CLI's jobs/cache/probe/metrics plumbing."""
+    logger = get_logger("cli")
+    registry = MetricsRegistry()
+    emit_trace = getattr(args, "emit_trace", None)
+    cache = None
+    if args.cache_dir and emit_trace:
+        # A cache hit would produce no event stream; trace runs re-simulate.
+        logger.warning("--emit-trace bypasses the result cache")
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir, registry=registry)
     done = 0
 
     def progress(outcome) -> None:
@@ -311,7 +409,45 @@ def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
             file=sys.stderr,
         )
 
-    return run_sweep(specs, jobs=_jobs(args), cache=cache, progress=progress)
+    sink = None
+    probe_factory = None
+    if emit_trace:
+        try:
+            sink = ChromeTraceSink(emit_trace)
+        except OSError as error:
+            raise SystemExit(f"cannot write {emit_trace}: {error}")
+
+        def probe_factory(spec: RunSpec):
+            geometry = spec.geometry or "inf"
+            return sink.cell(
+                f"{spec.protocol}/{spec.trace} b{spec.block_size} g{geometry}"
+            )
+
+    try:
+        report = run_sweep(
+            specs,
+            jobs=_jobs(args),
+            cache=cache,
+            progress=progress,
+            probe_factory=probe_factory,
+            registry=registry,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    if emit_trace:
+        print(f"wrote Chrome trace to {emit_trace}", file=sys.stderr)
+
+    metrics_json = getattr(args, "metrics_json", None)
+    if metrics_json:
+        try:
+            with open(metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(report.metrics_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            raise SystemExit(f"cannot write {metrics_json}: {error}")
+        print(f"wrote metrics to {metrics_json}", file=sys.stderr)
+    return report
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
@@ -360,6 +496,31 @@ def _cmd_finite(args: argparse.Namespace) -> None:
     )
     print(table.render())
     print(report.render_metrics(), file=sys.stderr)
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    registry = MetricsRegistry()
+    first = True
+    for protocol in args.protocols:
+        for trace in args.traces:
+            spec = RunSpec(
+                protocol=protocol,
+                trace=trace,
+                scale=_scale(args),
+                n_caches=args.n_caches,
+                geometry=args.geometry,
+            )
+            report = profile_spec(spec, registry=registry)
+            if not first:
+                print()
+            first = False
+            print(report.render())
+    if args.metrics_json:
+        try:
+            registry.write_json(args.metrics_json)
+        except OSError as error:
+            raise SystemExit(f"cannot write {args.metrics_json}: {error}")
+        print(f"wrote metrics to {args.metrics_json}", file=sys.stderr)
 
 
 def _cmd_spinlock(args: argparse.Namespace) -> None:
@@ -464,6 +625,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "finite": _cmd_finite,
+    "profile": _cmd_profile,
     "table4": _cmd_table4,
     "table5": _cmd_table5,
     "figure1": _cmd_figure1,
@@ -478,8 +640,21 @@ _COMMANDS = {
 }
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    if args.log_level is not None:
+        level = args.log_level
+    elif args.verbose >= 2:
+        level = "debug"
+    elif args.verbose == 1:
+        level = "info"
+    else:
+        level = "warning"
+    setup_logging(level=level, json_lines=args.log_json)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     _COMMANDS[args.command](args)
     return 0
 

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # probes are observers; the core never imports obs at runtime
+    from ..obs.probe import ReferenceProbe
 
 from ..interconnect.bus import BusCostModel
 from ..interconnect.costs import CostSummary, summarize_costs
@@ -213,6 +216,11 @@ class ReferencePipeline:
             :class:`~repro.core.oracle.CoherenceOracle`, raising
             :class:`~repro.core.oracle.CoherenceViolation` on any stale
             read (the oracle is exposed as :attr:`oracle`).
+        probe: a :class:`~repro.obs.probe.ReferenceProbe` receiving every
+            processed reference (unit, access, block, outcome).  Probes
+            observe only — counters and protocol state are bit-identical
+            with and without one — and cost the hot loop a single ``None``
+            check when absent.
     """
 
     def __init__(
@@ -225,6 +233,7 @@ class ReferencePipeline:
         sharing_model: SharingModel = SharingModel.PROCESS,
         check_invariants_every: int = 0,
         check_values: bool = False,
+        probe: Optional["ReferenceProbe"] = None,
     ) -> None:
         if block_size <= 0:
             raise ValueError(f"block_size must be positive, got {block_size}")
@@ -243,9 +252,14 @@ class ReferencePipeline:
             self.oracle.access if self.oracle is not None else protocol.access
         )
         self._stage = stage
+        self._probe = probe
         self._units: dict = {}
         self._by_process = sharing_model is SharingModel.PROCESS
         self._processed = 0
+
+    def attach_probe(self, probe: Optional["ReferenceProbe"]) -> None:
+        """Attach (or, with ``None``, detach) the per-reference probe."""
+        self._probe = probe
 
     # -- the engine ------------------------------------------------------------
 
@@ -289,6 +303,9 @@ class ReferencePipeline:
         counters.record(outcome)
         if stage is not None and data:
             stage.after_access(unit, block)
+        probe = self._probe
+        if probe is not None:
+            probe.on_reference(self._processed, unit, access, block, outcome)
         self._processed += 1
         every = self.check_invariants_every
         if every and self._processed % every == 0:

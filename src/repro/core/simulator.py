@@ -17,7 +17,7 @@ reference-feed loop behind both entry points here).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from ..memory.cache import CacheGeometry
 from ..protocols.base import CoherenceProtocol
@@ -25,6 +25,9 @@ from ..trace.record import DEFAULT_BLOCK_SIZE, TraceRecord
 from ..trace.stream import SharingModel
 from .counters import SimulationCounters
 from .pipeline import ReferencePipeline, SimulationResult
+
+if TYPE_CHECKING:
+    from ..obs.probe import ReferenceProbe
 
 __all__ = ["SimulationResult", "simulate", "simulate_chunks"]
 
@@ -37,6 +40,7 @@ def simulate(
     sharing_model: SharingModel = SharingModel.PROCESS,
     check_invariants_every: int = 0,
     geometry: Optional[CacheGeometry] = None,
+    probe: Optional["ReferenceProbe"] = None,
 ) -> SimulationResult:
     """Run ``protocol`` over ``trace`` and return the tallied result.
 
@@ -53,6 +57,8 @@ def simulate(
             for tests).
         geometry: finite-cache geometry; ``None`` (default) simulates the
             paper's infinite caches.
+        probe: per-reference observer streaming protocol events to a sink
+            (see :mod:`repro.obs.probe`); never affects the counted result.
 
     Raises:
         ValueError: if the trace contains more sharing units than the
@@ -64,6 +70,7 @@ def simulate(
         block_size=block_size,
         sharing_model=sharing_model,
         check_invariants_every=check_invariants_every,
+        probe=probe,
     )
     return pipeline.run(trace, trace_name)
 
@@ -77,6 +84,7 @@ def simulate_chunks(
     check_invariants_every: int = 0,
     chunk_done: Optional[Callable[[SimulationCounters], None]] = None,
     geometry: Optional[CacheGeometry] = None,
+    probe: Optional["ReferenceProbe"] = None,
 ) -> SimulationResult:
     """Simulate a trace supplied as consecutive chunks, merging exactly.
 
@@ -96,5 +104,6 @@ def simulate_chunks(
         block_size=block_size,
         sharing_model=sharing_model,
         check_invariants_every=check_invariants_every,
+        probe=probe,
     )
     return pipeline.run_chunks(chunks, trace_name, chunk_done)

@@ -1,0 +1,115 @@
+"""Structured logging for the package.
+
+All ``repro`` loggers hang off one ``"repro"`` root logger so a single
+:func:`setup_logging` call (the CLI's ``--log-level``/``-v``/``--log-json``
+flags) configures the whole stack.  Log calls attach machine-readable
+fields via ``extra={"fields": {...}}`` — use the :func:`fields` helper —
+and both formatters render them: the text formatter appends ``key=value``
+pairs, the JSON formatter merges them into the emitted object, so the same
+call sites serve humans and log pipelines.
+
+The library itself never calls :func:`setup_logging`; until an application
+does, records propagate to the root logger and follow whatever the host
+process configured (the standard library-logging contract).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Mapping, Optional, Union
+
+__all__ = [
+    "JsonFormatter",
+    "TextFormatter",
+    "fields",
+    "get_logger",
+    "setup_logging",
+]
+
+#: Name of the package's root logger; every :func:`get_logger` child
+#: inherits its handlers and level.
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The package logger for ``name`` (e.g. ``"runner.sweep"``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def fields(**pairs: object) -> Mapping[str, object]:
+    """Structured fields for a log call: ``logger.info(msg, extra=fields(...))``."""
+    return {"fields": pairs}
+
+
+def _record_fields(record: logging.LogRecord) -> Mapping[str, object]:
+    extra = getattr(record, "fields", None)
+    return extra if isinstance(extra, Mapping) else {}
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable lines with structured fields as ``key=value`` pairs."""
+
+    def __init__(self) -> None:
+        super().__init__("%(levelname).1s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        text = super().format(record)
+        pairs = " ".join(
+            f"{key}={value}" for key, value in _record_fields(record).items()
+        )
+        return f"{text} [{pairs}]" if pairs else text
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, structured fields merged in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_record_fields(record))
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def setup_logging(
+    level: Union[str, int] = "warning",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger (idempotent; replaces handlers).
+
+    Args:
+        level: a :mod:`logging` level number or one of ``debug`` / ``info``
+            / ``warning`` / ``error``.
+        json_lines: emit one JSON object per record instead of text.
+        stream: destination (default ``sys.stderr``).
+    """
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.lower()]
+        except KeyError:
+            known = ", ".join(_LEVELS)
+            raise ValueError(f"unknown log level {level!r}; known: {known}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_lines else TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,213 @@
+"""Metrics primitives: counters, gauges, wall-time timers, histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments that any
+layer can tally into and any consumer can snapshot as plain JSON-able data
+(:meth:`MetricsRegistry.as_dict`, ``--metrics-json`` in the CLI).  The
+sweep runner keeps one registry per sweep so reports are self-contained;
+the result cache defaults to the process-wide registry
+(:func:`get_registry`) so corruption events are visible no matter which
+sweep tripped them.
+
+Instruments are deliberately tiny pure-Python objects — a counter is one
+integer — so tallying in hot-ish paths (per sweep cell, per cache lookup)
+costs nothing worth measuring.  Per-*reference* instrumentation does not go
+through the registry at all; that is the probe API's job
+(:mod:`repro.obs.probe`), which is compiled out of the hot loop entirely
+when no probe is attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "get_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """Accumulated wall time over any number of timed sections."""
+
+    __slots__ = ("name", "total_seconds", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_seconds = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        """Fold an externally measured duration in (e.g. from a worker)."""
+        self.total_seconds += seconds
+        self.count += 1
+
+    @contextmanager
+    def time(self) -> Iterator["Timer"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(time.perf_counter() - start)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_s": self.total_seconds,
+            "count": self.count,
+            "mean_s": self.mean_seconds,
+        }
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/mean) of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshottable as JSON."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- snapshots -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as plain JSON-able data."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: timer.as_dict()
+                for name, timer in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, timers={len(self._timers)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+#: Process-wide default registry for layers with no better home (the result
+#: cache's corruption counter, ad-hoc instrumentation in scripts).
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT

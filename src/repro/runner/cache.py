@@ -2,9 +2,18 @@
 
 Results are pickled one file per cache key under a directory the caller
 chooses.  The key (see :meth:`repro.runner.spec.RunSpec.cache_key`) hashes
-everything that determines the result, so a hit can be replayed verbatim;
-anything unreadable — truncated file, stale pickle, wrong type — is treated
-as a miss and resimulated rather than trusted.
+everything that determines the result, so a hit can be replayed verbatim.
+A *missing* entry is an ordinary miss; an entry that exists but cannot be
+decoded — truncated file, stale pickle, wrong type — is **corrupt**: it is
+logged as a structured warning, counted in the ``cache.corrupt`` metric,
+and deleted so the next run regenerates it instead of tripping over it
+forever.
+
+Alongside each result, :meth:`ResultCache.put` stores the run's
+:class:`~repro.obs.manifest.RunManifest` as ``<key>.manifest.json`` —
+human-readable provenance (spec, package version, host, wall time, peak
+RSS) for every number the cache can serve.  Manifests are advisory: their
+absence or corruption never invalidates the pickled result.
 
 Writes go through a temp file + :func:`os.replace` so concurrent sweeps
 sharing a cache directory never observe half-written entries.
@@ -18,23 +27,53 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..core.simulator import SimulationResult
+from ..obs.log import fields, get_logger
+from ..obs.manifest import RunManifest
+from ..obs.metrics import MetricsRegistry, get_registry
 
 __all__ = ["ResultCache"]
 
+logger = get_logger("runner.cache")
+
 
 class ResultCache:
-    """A directory of pickled :class:`SimulationResult`s, keyed by spec hash."""
+    """A directory of pickled :class:`SimulationResult`s, keyed by spec hash.
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    ``registry`` receives the cache's metrics (``cache.hit``,
+    ``cache.miss``, ``cache.corrupt`` counters); it defaults to the
+    process-wide registry from :func:`repro.obs.metrics.get_registry`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.registry = registry if registry is not None else get_registry()
         #: lookups that returned a usable result
         self.hits = 0
         #: lookups that found nothing usable
         self.misses = 0
+        #: lookups that found an undecodable entry (subset of ``misses``)
+        self.corrupt = 0
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
+
+    def manifest_path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.manifest.json"
+
+    def _corrupt(self, path: Path, key: str, reason: str) -> None:
+        """Record and remove an undecodable entry so it gets regenerated."""
+        self.corrupt += 1
+        self.registry.counter("cache.corrupt").inc()
+        logger.warning(
+            "corrupt cache entry removed",
+            extra=fields(key=key, path=str(path), reason=reason),
+        )
+        path.unlink(missing_ok=True)
 
     def get(self, key: str) -> Optional[SimulationResult]:
         """The cached result for ``key``, or None (counted as hit/miss)."""
@@ -42,29 +81,60 @@ class ResultCache:
         try:
             with path.open("rb") as handle:
                 result = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except FileNotFoundError:
             self.misses += 1
+            self.registry.counter("cache.miss").inc()
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as error:
+            self.misses += 1
+            self.registry.counter("cache.miss").inc()
+            self._corrupt(path, key, f"{type(error).__name__}: {error}")
             return None
         if not isinstance(result, SimulationResult):
             self.misses += 1
+            self.registry.counter("cache.miss").inc()
+            self._corrupt(path, key, f"wrong type {type(result).__name__}")
             return None
         self.hits += 1
+        self.registry.counter("cache.hit").inc()
         return result
 
-    def put(self, key: str, result: SimulationResult) -> None:
-        """Store ``result`` under ``key`` atomically."""
+    def get_manifest(self, key: str) -> Optional[RunManifest]:
+        """The stored provenance for ``key``'s result, if any survives."""
+        path = self.manifest_path_for(key)
+        try:
+            return RunManifest.read(path)
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    def put(
+        self,
+        key: str,
+        result: SimulationResult,
+        manifest: Optional[RunManifest] = None,
+    ) -> None:
+        """Store ``result`` (and its provenance) under ``key`` atomically."""
         path = self.path_for(key)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         with tmp.open("wb") as handle:
             pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        if manifest is not None:
+            manifest_path = self.manifest_path_for(key)
+            manifest_tmp = manifest_path.with_name(
+                f"{manifest_path.name}.{os.getpid()}.tmp"
+            )
+            manifest.write(manifest_tmp)
+            os.replace(manifest_tmp, manifest_path)
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry; returns how many results were removed."""
         removed = 0
         for path in self.directory.glob("*.pkl"):
             path.unlink(missing_ok=True)
             removed += 1
+        for path in self.directory.glob("*.manifest.json"):
+            path.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:
@@ -81,5 +151,5 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"ResultCache({str(self.directory)!r}, entries={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, corrupt={self.corrupt})"
         )

@@ -132,6 +132,19 @@ class RunSpec:
 
     # -- identity ------------------------------------------------------------
 
+    def as_dict(self) -> dict:
+        """The spec as plain JSON-able data (manifests, ``--metrics-json``)."""
+        return {
+            "protocol": self.protocol,
+            "trace": self.trace,
+            "scale": self.scale,
+            "n_caches": self.n_caches,
+            "block_size": self.block_size,
+            "sharing_model": self.sharing_model.value,
+            "seed": self.seed,
+            "geometry": self.geometry or INFINITE_GEOMETRY,
+        }
+
     def cache_key(self) -> str:
         """Stable content hash identifying this spec's result on disk."""
         token = "|".join(
@@ -150,8 +163,13 @@ class RunSpec:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Simulate this cell from scratch (no cache involved)."""
+    def run(self, probe=None) -> SimulationResult:
+        """Simulate this cell from scratch (no cache involved).
+
+        ``probe`` is an optional :class:`~repro.obs.probe.ReferenceProbe`
+        streaming the cell's per-reference events; it never changes the
+        counted result.
+        """
         return simulate(
             self.build_protocol(),
             self.build_trace(),
@@ -159,6 +177,7 @@ class RunSpec:
             block_size=self.block_size,
             sharing_model=self.sharing_model,
             geometry=self.build_geometry(),
+            probe=probe,
         )
 
 

@@ -6,6 +6,17 @@ fanning the misses over a ``multiprocessing`` pool (``jobs > 1``) or
 running them inline (``jobs == 1``) — and returns a :class:`SweepReport`
 carrying every result plus the throughput and cache metrics.
 
+Observability: every sweep tallies into a
+:class:`~repro.obs.metrics.MetricsRegistry` (wall time, cell timings,
+cache traffic; exposed as :attr:`SweepReport.registry` and via
+:meth:`SweepReport.metrics_dict` for ``--metrics-json``), every executed
+cell carries a :class:`~repro.obs.manifest.RunManifest` with its
+provenance (also serialised next to cached results), progress and
+heartbeat lines go through the structured ``repro.runner.sweep`` logger,
+and a ``probe_factory`` can attach a per-reference
+:class:`~repro.obs.probe.ReferenceProbe` to each simulated cell (probed
+sweeps run inline, since event streams cannot cross process boundaries).
+
 Determinism contract: the outcome list is ordered exactly like the input
 spec list regardless of worker scheduling, and each worker reconstructs its
 trace from the spec's seed, so ``jobs=N`` produces bit-identical counters
@@ -19,19 +30,31 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.comparison import ComparisonResult
 from ..core.simulator import SimulationResult
 from ..interconnect.bus import nonpipelined_bus, pipelined_bus
+from ..obs.log import fields, get_logger
+from ..obs.manifest import RunManifest, collect_manifest
+from ..obs.metrics import MetricsRegistry
+from ..obs.probe import ReferenceProbe
 from .cache import ResultCache
 from .spec import INFINITE_GEOMETRY, RunSpec
 
 __all__ = ["RunOutcome", "SweepReport", "run_sweep"]
 
+logger = get_logger("runner.sweep")
+
 #: Hook called once per completed cell, in spec order.
 ProgressHook = Callable[["RunOutcome"], None]
+
+#: Factory producing a per-cell probe for instrumented sweeps.
+ProbeFactory = Callable[[RunSpec], Optional[ReferenceProbe]]
+
+#: Seconds between INFO-level heartbeat lines while a sweep runs.
+HEARTBEAT_SECONDS = 10.0
 
 
 @dataclass(frozen=True)
@@ -45,6 +68,8 @@ class RunOutcome:
     elapsed: float
     #: pid of the process that produced the result
     worker: int
+    #: provenance of the execution (None when served from a pre-manifest cache)
+    manifest: Optional[RunManifest] = None
 
 
 @dataclass(frozen=True)
@@ -54,6 +79,9 @@ class SweepReport:
     outcomes: Sequence[RunOutcome]
     wall_time: float
     jobs: int
+    #: the sweep's metrics (wall/cell timers, cache counters); always set by
+    #: :func:`run_sweep`, defaulted for hand-built reports in tests
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     # -- counts ----------------------------------------------------------------
 
@@ -181,12 +209,44 @@ class SweepReport:
             )
         return "\n".join(lines)
 
+    def metrics_dict(self) -> Dict[str, object]:
+        """The sweep's metrics as JSON-able data (``--metrics-json``)."""
+        return {
+            "cells": self.cells,
+            "simulated": self.simulations,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "jobs": self.jobs,
+            "wall_s": self.wall_time,
+            "total_references": self.total_references,
+            "simulated_references": self.simulated_references,
+            "refs_per_sec": self.refs_per_sec,
+            "workers": {
+                str(pid): {"cells": cells, "simulation_s": seconds}
+                for pid, (cells, seconds) in sorted(self.worker_timings().items())
+            },
+            "registry": self.registry.as_dict(),
+        }
 
-def _execute(spec: RunSpec) -> Tuple[SimulationResult, float, int]:
-    """Worker entry point: simulate one cell, timing it."""
+
+def _execute(spec: RunSpec) -> Tuple[SimulationResult, float, int, RunManifest]:
+    """Worker entry point: simulate one cell, timing it and manifesting it."""
     start = time.perf_counter()
     result = spec.run()
-    return result, time.perf_counter() - start, os.getpid()
+    elapsed = time.perf_counter() - start
+    manifest = collect_manifest(spec.as_dict(), spec.cache_key(), elapsed)
+    return result, elapsed, os.getpid(), manifest
+
+
+def _execute_probed(
+    spec: RunSpec, probe: Optional[ReferenceProbe]
+) -> Tuple[SimulationResult, float, int, RunManifest]:
+    """Inline execution with a per-reference probe attached."""
+    start = time.perf_counter()
+    result = spec.run(probe=probe)
+    elapsed = time.perf_counter() - start
+    manifest = collect_manifest(spec.as_dict(), spec.cache_key(), elapsed)
+    return result, elapsed, os.getpid(), manifest
 
 
 def run_sweep(
@@ -194,67 +254,153 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressHook] = None,
+    probe_factory: Optional[ProbeFactory] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> SweepReport:
     """Execute a sweep grid, optionally in parallel and through a cache.
 
     Cache lookups happen up front in the parent; only misses are dispatched
-    to workers, and their results are written back to the cache by the
-    parent (one writer, no cross-process races on fresh entries).  The
-    ``progress`` hook fires once per cell — cache hits first, then
-    simulated cells in spec order.
+    to workers, and their results (plus run manifests) are written back to
+    the cache by the parent (one writer, no cross-process races on fresh
+    entries).  The ``progress`` hook fires once per cell — cache hits
+    first, then simulated cells in spec order.  ``probe_factory``, when
+    given, produces a per-reference probe for every simulated cell and
+    forces inline execution (probes cannot stream across processes).
+    ``registry`` collects the sweep's metrics; a fresh one is created when
+    omitted and either way it rides on the returned report.
     """
     specs = list(specs)
     if not specs:
         raise ValueError("at least one RunSpec is required")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    registry = registry if registry is not None else MetricsRegistry()
+    if probe_factory is not None and jobs > 1:
+        logger.warning(
+            "probed sweeps run inline; ignoring --jobs",
+            extra=fields(jobs=jobs),
+        )
 
-    start = time.perf_counter()
+    wall = registry.timer("sweep.wall_seconds")
+    wall_before = wall.total_seconds
+    registry.gauge("sweep.jobs").set(jobs)
+    registry.counter("sweep.cells").inc(len(specs))
+    logger.info(
+        "sweep started",
+        extra=fields(
+            cells=len(specs), jobs=jobs, cache=cache is not None,
+            probed=probe_factory is not None,
+        ),
+    )
+
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     pending: List[int] = []
-    for index, spec in enumerate(specs):
-        cached_result = cache.get(spec.cache_key()) if cache is not None else None
-        if cached_result is not None:
+    done = 0
+    last_beat = time.perf_counter()
+
+    def _heartbeat() -> None:
+        nonlocal last_beat
+        now = time.perf_counter()
+        if now - last_beat >= HEARTBEAT_SECONDS:
+            last_beat = now
+            finished = [o for o in outcomes if o is not None]
+            logger.info(
+                "sweep progress",
+                extra=fields(
+                    done=done,
+                    total=len(specs),
+                    simulated=sum(1 for o in finished if not o.cached),
+                    references=sum(o.result.references for o in finished),
+                ),
+            )
+
+    with wall.time():
+        for index, spec in enumerate(specs):
+            cached_result = (
+                cache.get(spec.cache_key()) if cache is not None else None
+            )
+            if cached_result is not None:
+                outcome = RunOutcome(
+                    spec=spec,
+                    result=cached_result,
+                    cached=True,
+                    elapsed=0.0,
+                    worker=os.getpid(),
+                    manifest=cache.get_manifest(spec.cache_key()),
+                )
+                outcomes[index] = outcome
+                done += 1
+                registry.counter("sweep.cache_hits").inc()
+                if progress is not None:
+                    progress(outcome)
+                _heartbeat()
+            else:
+                pending.append(index)
+
+        def _complete(
+            index: int,
+            payload: Tuple[SimulationResult, float, int, RunManifest],
+        ) -> None:
+            nonlocal done
+            result, elapsed, worker, manifest = payload
             outcome = RunOutcome(
-                spec=spec,
-                result=cached_result,
-                cached=True,
-                elapsed=0.0,
-                worker=os.getpid(),
+                spec=specs[index],
+                result=result,
+                cached=False,
+                elapsed=elapsed,
+                worker=worker,
+                manifest=manifest,
             )
             outcomes[index] = outcome
+            done += 1
+            registry.counter("sweep.simulated").inc()
+            registry.histogram("sweep.cell_seconds").observe(elapsed)
+            if cache is not None:
+                cache.put(specs[index].cache_key(), result, manifest=manifest)
+            logger.debug(
+                "cell simulated",
+                extra=fields(
+                    protocol=specs[index].protocol,
+                    trace=specs[index].trace,
+                    elapsed_s=round(elapsed, 4),
+                    worker=worker,
+                ),
+            )
             if progress is not None:
                 progress(outcome)
-        else:
-            pending.append(index)
+            _heartbeat()
 
-    def _complete(index: int, payload: Tuple[SimulationResult, float, int]) -> None:
-        result, elapsed, worker = payload
-        outcome = RunOutcome(
-            spec=specs[index],
-            result=result,
-            cached=False,
-            elapsed=elapsed,
-            worker=worker,
-        )
-        outcomes[index] = outcome
-        if cache is not None:
-            cache.put(specs[index].cache_key(), result)
-        if progress is not None:
-            progress(outcome)
+        if pending:
+            if probe_factory is not None:
+                for index in pending:
+                    probe = probe_factory(specs[index])
+                    _complete(index, _execute_probed(specs[index], probe))
+            elif jobs == 1:
+                for index in pending:
+                    _complete(index, _execute(specs[index]))
+            else:
+                pool_size = min(jobs, len(pending))
+                with multiprocessing.Pool(processes=pool_size) as pool:
+                    payloads = pool.imap(_execute, [specs[i] for i in pending])
+                    for index, payload in zip(pending, payloads):
+                        _complete(index, payload)
 
-    if pending:
-        if jobs == 1:
-            for index in pending:
-                _complete(index, _execute(specs[index]))
-        else:
-            with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
-                payloads = pool.imap(_execute, [specs[i] for i in pending])
-                for index, payload in zip(pending, payloads):
-                    _complete(index, payload)
-
-    return SweepReport(
+    wall_time = wall.total_seconds - wall_before
+    report = SweepReport(
         outcomes=tuple(outcomes),
-        wall_time=time.perf_counter() - start,
+        wall_time=wall_time,
         jobs=jobs,
+        registry=registry,
     )
+    registry.gauge("sweep.refs_per_sec").set(report.refs_per_sec)
+    logger.info(
+        "sweep finished",
+        extra=fields(
+            cells=report.cells,
+            simulated=report.simulations,
+            cache_hits=report.cache_hits,
+            wall_s=round(wall_time, 3),
+            refs_per_sec=round(report.refs_per_sec),
+        ),
+    )
+    return report

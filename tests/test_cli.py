@@ -234,6 +234,151 @@ class TestFiniteCommand:
         assert all(f > i for f, i in zip(finite_row, infinite_row))
 
 
+class TestObservability:
+    def test_profile_prints_stage_table(self, capsys):
+        assert main(FAST + ["profile", "--protocols", "dir1nb"]) == 0
+        out = capsys.readouterr().out
+        assert "dir1nb / POPS" in out
+        for stage in (
+            "trace-generation",
+            "geometry-stage",
+            "protocol-transition",
+            "counter-accounting",
+        ):
+            assert stage in out
+        assert "refs/sec" in out
+
+    def test_profile_grid_and_metrics_json(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "profile.json"
+        assert main(
+            FAST
+            + [
+                "profile",
+                "--protocols",
+                "dir0b",
+                "dragon",
+                "--traces",
+                "POPS",
+                "--metrics-json",
+                str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dir0b / POPS" in out and "dragon / POPS" in out
+        payload = json.loads(metrics.read_text())
+        # Two runs accumulated into one registry.
+        assert payload["timers"]["profile.wall"]["count"] == 2
+
+    def test_profile_accepts_schemes_alias(self):
+        args = build_parser().parse_args(["profile", "--schemes", "wti"])
+        assert args.protocols == ["wti"]
+
+    def test_compare_emit_trace_is_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            FAST
+            + ["compare", "--schemes", "dir0b", "--emit-trace", str(trace)]
+        ) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().err
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(event["ph"] == "X" for event in events)
+        # One metadata track per sweep cell (3 traces x 1 scheme).
+        names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert len(names) == 3
+        assert all(name.startswith("dir0b/") for name in names)
+
+    def test_sweep_metrics_json_matches_report(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            FAST + SWEEP + ["--metrics-json", str(metrics)]
+        ) == 0
+        assert "wrote metrics" in capsys.readouterr().err
+        payload = json.loads(metrics.read_text())
+        assert payload["cells"] == 6
+        assert payload["simulated"] == 6
+        assert payload["registry"]["counters"]["sweep.simulated"] == 6
+
+    def test_emit_trace_bypasses_cache_with_identical_tables(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(FAST + cache + SWEEP) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "trace.json"
+        assert main(
+            FAST + cache + SWEEP + ["--emit-trace", str(trace)]
+        ) == 0
+        probed = capsys.readouterr()
+        assert probed.out == plain  # probes never perturb results
+        assert "(6 simulated, 0 cached)" in probed.err  # cache was bypassed
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert sum(1 for e in events if e["ph"] == "X") > 0
+
+    def test_finite_accepts_obs_flags(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            FAST
+            + [
+                "finite",
+                "--schemes",
+                "dir0b",
+                "--geometries",
+                "8x2",
+                "--metrics-json",
+                str(metrics),
+            ]
+        ) == 0
+        assert json.loads(metrics.read_text())["cells"] == 3
+
+    def test_verbose_flag_logs_sweep_lifecycle(self, capsys):
+        assert main(FAST + ["-v"] + SWEEP) == 0
+        err = capsys.readouterr().err
+        assert "sweep started" in err and "sweep finished" in err
+
+    def test_log_json_emits_json_lines(self, capsys):
+        import json
+
+        assert main(FAST + ["--log-level", "info", "--log-json"] + SWEEP) == 0
+        err = capsys.readouterr().err
+        started = [
+            line
+            for line in err.splitlines()
+            if line.startswith("{") and '"sweep started"' in line
+        ]
+        assert len(started) == 1
+        payload = json.loads(started[0])
+        assert payload["cells"] == 6
+        assert payload["logger"] == "repro.runner.sweep"
+
+    def test_quiet_by_default(self, capsys):
+        assert main(FAST + ["compare", "--schemes", "dir0b"]) == 0
+        err = capsys.readouterr().err
+        assert "sweep started" not in err
+
+    def test_emit_trace_unwritable_path_exits_cleanly(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "trace.json"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(FAST + ["compare", "--schemes", "dir0b", "--emit-trace", str(missing)])
+
+    def test_metrics_json_unwritable_path_exits_cleanly(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "metrics.json"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(
+                FAST
+                + ["compare", "--schemes", "dir0b", "--metrics-json", str(missing)]
+            )
+
+
 class TestErrorPaths:
     def test_export_trace_unwritable_path_exits_cleanly(self, tmp_path):
         missing = tmp_path / "no" / "such" / "dir" / "out.trace"

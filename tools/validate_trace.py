@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace-format JSON file (as ``--emit-trace`` writes).
+
+Checks the structural contract Perfetto / chrome://tracing rely on —
+JSON object with a ``traceEvents`` list; every complete (``ph: "X"``)
+event carries ``name``/``ts``/``dur``/``pid``/``tid`` with sane types;
+metadata (``ph: "M"``) events name each pid exactly once — plus the
+conventions this package's :class:`~repro.obs.probe.ChromeTraceSink`
+guarantees: non-negative integer timestamps (reference indices),
+non-negative durations (priced bus cycles), and every slice's pid
+declared by a ``process_name`` metadata event.
+
+Usage::
+
+    python tools/validate_trace.py trace.json [trace2.json ...]
+
+Exits 0 and prints a per-file summary when every file validates, exits 1
+with a diagnostic on the first violation.  Standalone on purpose (no
+repro import): CI runs it against CLI output as an end-to-end check.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Keys every complete ("X") event must carry.
+REQUIRED_SLICE_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+class TraceError(Exception):
+    """A violation of the Chrome-trace contract, with event context."""
+
+
+def validate_trace(path: Path) -> str:
+    """Validate one trace file; returns a one-line summary or raises."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise TraceError(f"not valid JSON: {error}") from None
+
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise TraceError('top level must be an object with "traceEvents"')
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceError('"traceEvents" must be a list')
+
+    named_pids = set()
+    slices = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceError(f"event {index} is not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") != "process_name":
+                continue
+            pid = event.get("pid")
+            if not isinstance(pid, int):
+                raise TraceError(f"metadata event {index} has non-int pid")
+            if pid in named_pids:
+                raise TraceError(f"pid {pid} named twice (event {index})")
+            label = event.get("args", {}).get("name")
+            if not isinstance(label, str) or not label:
+                raise TraceError(f"metadata event {index} lacks args.name")
+            named_pids.add(pid)
+        elif phase == "X":
+            slices += 1
+            missing = [key for key in REQUIRED_SLICE_KEYS if key not in event]
+            if missing:
+                raise TraceError(f"slice {index} missing keys {missing}")
+            if not isinstance(event["name"], str) or not event["name"]:
+                raise TraceError(f"slice {index} has empty name")
+            ts, dur = event["ts"], event["dur"]
+            if not isinstance(ts, int) or ts < 0:
+                raise TraceError(f"slice {index} ts must be a non-negative int")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceError(f"slice {index} dur must be non-negative")
+            if not isinstance(event["pid"], int) or not isinstance(
+                event["tid"], int
+            ):
+                raise TraceError(f"slice {index} pid/tid must be ints")
+            if event["pid"] not in named_pids:
+                raise TraceError(
+                    f"slice {index} pid {event['pid']} has no process_name "
+                    "metadata (cell tracks must be declared before slices)"
+                )
+        else:
+            raise TraceError(f"event {index} has unexpected ph {phase!r}")
+
+    if slices == 0:
+        raise TraceError("trace contains no slices")
+    return f"{path}: OK ({slices} slices across {len(named_pids)} cell tracks)"
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for name in argv:
+        path = Path(name)
+        try:
+            print(validate_trace(path))
+        except OSError as error:
+            print(f"{path}: cannot read: {error}", file=sys.stderr)
+            return 1
+        except TraceError as error:
+            print(f"{path}: INVALID: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
