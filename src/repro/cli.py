@@ -26,6 +26,18 @@ on-disk result cache; both apply to ``sweep`` and to the table/figure
 commands, always with bit-identical results to the serial path.  Sweep
 tables go to stdout; progress and throughput/cache metrics go to stderr.
 
+Resilience (see docs/robustness.md): ``sweep`` accepts ``--retries N``
+(per-cell retry budget with deterministic backoff), ``--cell-timeout S``
+(SIGKILL overruns), ``--keep-going``/``--max-failures N`` (record failures
+and finish the grid) and ``--resume`` (skip journaled successes after a
+crash; requires ``--cache-dir``).
+
+Exit codes: 0 success; 1 runtime failure (a cell failed fail-fast, a
+model-check violation, an unwritable output); 2 usage, spec or
+trace-format errors; 3 the sweep finished but some cells failed under
+``--keep-going``; 130 interrupted (completed cells are already flushed to
+the cache and journal).
+
 Observability (see docs/observability.md): ``--log-level``/``-v`` raise
 logging verbosity and ``--log-json`` switches to JSON-lines logs;
 ``compare``/``sweep``/``finite`` accept ``--emit-trace FILE`` (stream every
@@ -64,6 +76,13 @@ from .protocols import (
     protocol_names,
     unknown_protocol_message,
 )
+from .resilience import (
+    CellFailure,
+    FaultPlan,
+    FaultyCache,
+    SweepInterrupted,
+    SweepJournal,
+)
 from .runner import (
     ResultCache,
     RunSpec,
@@ -77,6 +96,11 @@ from .trace.atum import write_binary, write_text
 from .trace.stats import format_table3
 
 __all__ = ["main", "build_parser"]
+
+
+class UsageError(Exception):
+    """A bad flag, spec or input file: one line on stderr, exit code 2."""
+
 
 _DEFAULT_SCALE_DENOMINATOR = 16.0
 
@@ -225,6 +249,53 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--n-caches", type=int, default=4, help="caches per system (default 4)"
     )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "extra attempts per failed cell, with exponential backoff and "
+            "deterministic jitter (default 0)"
+        ),
+    )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget; overruns are killed and count as "
+            "retryable timeout failures"
+        ),
+    )
+    sweep.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "record failed cells and finish the rest of the grid instead of "
+            "aborting (exit code 3 when any cell failed)"
+        ),
+    )
+    sweep.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --keep-going, abort once more than N cells have failed",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep from its journal (requires "
+            "--cache-dir): journaled successes are served from the cache, "
+            "only failed or missing cells re-run"
+        ),
+    )
+    # Deliberately undocumented: deterministic fault injection for the
+    # resilience test suite and CI soak runs (docs/robustness.md).
+    sweep.add_argument("--fault-plan", default=None, help=argparse.SUPPRESS)
     add_obs_flags(sweep)
 
     finite = sub.add_parser(
@@ -339,13 +410,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _scale(args: argparse.Namespace) -> float:
     if args.scale <= 0:
-        raise SystemExit("--scale must be positive")
+        raise UsageError("--scale must be positive")
     return 1.0 / args.scale
 
 
 def _jobs(args: argparse.Namespace) -> int:
     if args.jobs < 1:
-        raise SystemExit("--jobs must be >= 1")
+        raise UsageError("--jobs must be >= 1")
     return args.jobs
 
 
@@ -354,7 +425,7 @@ def _comparison(args: argparse.Namespace, schemes=PAPER_CORE_SCHEMES):
     try:
         specs = sweep_grid(tuple(schemes), scale=_scale(args))
     except ValueError as error:
-        raise SystemExit(f"{args.command}: {error}") from error
+        raise UsageError(f"{args.command}: {error}") from error
     return _run_grid(args, specs).comparison()
 
 
@@ -385,22 +456,66 @@ def _cmd_figure1(args: argparse.Namespace) -> None:
 
 
 def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
-    """Run a spec grid with the CLI's jobs/cache/probe/metrics plumbing."""
+    """Run a spec grid with the CLI's jobs/cache/probe/metrics plumbing.
+
+    Commands that expose the resilience flags (``sweep``) get them wired
+    through; everything else falls back to the historic fail-fast
+    defaults via ``getattr``.
+    """
     logger = get_logger("cli")
     registry = MetricsRegistry()
     emit_trace = getattr(args, "emit_trace", None)
+
+    retries = getattr(args, "retries", 0)
+    if retries < 0:
+        raise UsageError("--retries must be >= 0")
+    cell_timeout = getattr(args, "cell_timeout", None)
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise UsageError("--cell-timeout must be positive")
+    max_failures = getattr(args, "max_failures", None)
+    if max_failures is not None and max_failures < 0:
+        raise UsageError("--max-failures must be >= 0")
+    fault_plan = None
+    fault_plan_path = getattr(args, "fault_plan", None)
+    if fault_plan_path:
+        try:
+            fault_plan = FaultPlan.load(fault_plan_path)
+        except ValueError as error:
+            raise UsageError(str(error)) from error
+
     cache = None
     if args.cache_dir and emit_trace:
         # A cache hit would produce no event stream; trace runs re-simulate.
         logger.warning("--emit-trace bypasses the result cache")
     elif args.cache_dir:
-        cache = ResultCache(args.cache_dir, registry=registry)
+        if fault_plan is not None and fault_plan.has_cache_faults:
+            cache = FaultyCache(args.cache_dir, fault_plan, registry=registry)
+        else:
+            cache = ResultCache(args.cache_dir, registry=registry)
+
+    journal = None
+    resume = getattr(args, "resume", False)
+    if cache is not None and hasattr(args, "resume"):
+        journal = SweepJournal.for_sweep(
+            cache.directory, [spec.cache_key() for spec in specs]
+        )
+    if resume and journal is None:
+        raise UsageError(
+            "--resume requires --cache-dir (the sweep journal lives beside "
+            "the result cache)"
+        )
+
     done = 0
 
     def progress(outcome) -> None:
         nonlocal done
         done += 1
-        source = "cache" if outcome.cached else f"{outcome.elapsed:.2f}s"
+        if not outcome.ok:
+            source = f"FAILED: {outcome.error.kind}"
+        elif outcome.cached:
+            source = "cache"
+        else:
+            source = f"{outcome.elapsed:.2f}s"
         geometry = outcome.spec.geometry or "inf"
         print(
             f"[{done}/{len(specs)}] {outcome.spec.protocol} "
@@ -431,6 +546,13 @@ def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
             progress=progress,
             probe_factory=probe_factory,
             registry=registry,
+            retry=retries,
+            cell_timeout=cell_timeout,
+            keep_going=getattr(args, "keep_going", False),
+            max_failures=max_failures,
+            faults=fault_plan,
+            journal=journal,
+            resume=resume,
         )
     finally:
         if sink is not None:
@@ -450,7 +572,7 @@ def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
     return report
 
 
-def _cmd_sweep(args: argparse.Namespace) -> None:
+def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         specs = sweep_grid(
             tuple(args.schemes),
@@ -462,19 +584,31 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             sharing_models=tuple(SharingModel(value) for value in args.sharing),
         )
     except ValueError as error:
-        raise SystemExit(f"sweep: {error}") from error
+        raise UsageError(f"sweep: {error}") from error
     report = _run_grid(args, specs)
     print(report.cell_table())
-    try:
-        comparison = report.comparison()
-    except ValueError:
-        pass  # grid has extra axes; the cell table is the whole story
+    if report.failures:
+        print()
+        print(report.failure_table())
     else:
-        print()
-        print(table4(comparison).render())
-        print()
-        print(table5(comparison).render())
+        try:
+            comparison = report.comparison()
+        except ValueError:
+            pass  # grid has extra axes; the cell table is the whole story
+        else:
+            print()
+            print(table4(comparison).render())
+            print()
+            print(table5(comparison).render())
     print(report.render_metrics(), file=sys.stderr)
+    if report.failures:
+        print(
+            f"sweep: {len(report.failures)}/{report.cells} cells failed "
+            "(see failure table; rerun with --resume to retry them)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
 
 
 def _cmd_finite(args: argparse.Namespace) -> None:
@@ -486,7 +620,7 @@ def _cmd_finite(args: argparse.Namespace) -> None:
             geometries=tuple(args.geometries),
         )
     except ValueError as error:
-        raise SystemExit(f"finite: {error}") from error
+        raise UsageError(f"finite: {error}") from error
     report = _run_grid(args, specs)
     table = finite_sensitivity(
         [
@@ -579,7 +713,7 @@ def _cmd_modelcheck(args: argparse.Namespace) -> None:
     from .protocols import create_protocol
 
     if args.caches < 1 or args.blocks < 1 or args.depth < 1:
-        raise SystemExit("modelcheck: --caches, --blocks and --depth must be >= 1")
+        raise UsageError("modelcheck: --caches, --blocks and --depth must be >= 1")
     report = model_check(
         lambda n: create_protocol(args.scheme, n),
         n_caches=args.caches,
@@ -655,8 +789,35 @@ def _configure_logging(args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args)
-    _COMMANDS[args.command](args)
-    return 0
+    try:
+        status = _COMMANDS[args.command](args)
+    except UsageError as error:
+        print(f"repro-coherence: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # Spec and trace-format errors (TraceFormatError is a ValueError):
+        # one clean line, not a traceback.
+        print(f"repro-coherence: {args.command}: {error}", file=sys.stderr)
+        return 2
+    except CellFailure as error:
+        print(f"repro-coherence: {error}", file=sys.stderr)
+        return 1
+    except SweepInterrupted as error:
+        report = error.report
+        print(
+            f"repro-coherence: interrupted: {len(report.outcomes)}/"
+            f"{error.total} cells completed "
+            f"({len(report.failures)} of them failed); completed results "
+            "were flushed to the cache and journal — rerun with --resume",
+            file=sys.stderr,
+        )
+        if report.outcomes:
+            print(report.render_metrics(), file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("repro-coherence: interrupted", file=sys.stderr)
+        return 130
+    return status or 0
 
 
 if __name__ == "__main__":

@@ -67,10 +67,15 @@ class RunManifest:
     peak_rss_kb: Optional[int] = None
     #: unix timestamp of completion
     created: float = field(default_factory=time.time)
+    #: structured failure record (RunError.to_dict()) when the cell failed;
+    #: None for the normal, successful case
+    error: Optional[Mapping[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
         payload["spec"] = dict(self.spec)
+        if self.error is not None:
+            payload["error"] = dict(self.error)
         return payload
 
     @classmethod
@@ -96,8 +101,9 @@ def collect_manifest(
     cache_key: str,
     wall_time_s: float,
     worker_pid: int = 0,
+    error: Optional[Mapping[str, Any]] = None,
 ) -> RunManifest:
-    """A manifest for a cell just executed in this process."""
+    """A manifest for a cell just executed (or failed) in this process."""
     import os
 
     return RunManifest(
@@ -106,4 +112,5 @@ def collect_manifest(
         wall_time_s=wall_time_s,
         worker_pid=worker_pid or os.getpid(),
         peak_rss_kb=peak_rss_kb(),
+        error=dict(error) if error is not None else None,
     )

@@ -1,0 +1,123 @@
+"""Structured failure records for sweep cells.
+
+A cell that cannot produce a result — it raised, its worker was killed,
+or it blew through its wall-clock budget — becomes a :class:`RunError`
+attached to the cell's :class:`~repro.runner.sweep.RunOutcome` instead of
+an exception unwinding the whole sweep.  The record carries everything a
+post-mortem needs (error kind, exception type, message, attempt count,
+worker pid, traceback) and serialises to plain JSON for the sweep journal
+and run manifests.
+
+:class:`CellFailure` is the fail-fast path: raised by ``run_sweep`` when a
+cell exhausts its retry budget and ``keep_going`` is off (the default), or
+when ``max_failures`` is exceeded.  :class:`SweepInterrupted` is raised
+after a SIGINT: the pool has been torn down, every completed outcome has
+already been flushed to the cache/journal, and the exception carries the
+partial report so callers can summarise what survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "ERROR_KINDS",
+    "CellFailure",
+    "RunError",
+    "SweepInterrupted",
+]
+
+#: The failure taxonomy: an exception inside the cell, a wall-clock
+#: timeout enforced by the parent, or a worker process that died without
+#: reporting (SIGKILL, OOM, hard crash).
+ERROR_KINDS = ("exception", "timeout", "worker-crash")
+
+
+@dataclass(frozen=True)
+class RunError:
+    """Why one sweep cell failed, across all of its attempts."""
+
+    #: one of :data:`ERROR_KINDS`
+    kind: str
+    #: exception class name ("InjectedFault", "CellTimeout", "Signal(9)", ...)
+    exc_type: str
+    #: one-line human-readable description
+    message: str
+    #: total attempts made before giving up (1 = no retries granted/left)
+    attempts: int
+    #: pid of the worker that produced the final failure (0 if unknown)
+    worker: int = 0
+    #: seconds the final attempt ran before failing
+    elapsed: float = 0.0
+    #: formatted traceback of the final attempt, when one exists
+    traceback: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ERROR_KINDS:
+            known = ", ".join(ERROR_KINDS)
+            raise ValueError(f"unknown error kind {self.kind!r}; known: {known}")
+
+    def summary(self) -> str:
+        """One deterministic line for tables and logs (no pid, no traceback)."""
+        return (
+            f"{self.kind}: {self.exc_type}: {self.message} "
+            f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form for journals, manifests and ``--metrics-json``."""
+        return {
+            "kind": self.kind,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "elapsed_s": self.elapsed,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunError":
+        return cls(
+            kind=str(payload["kind"]),
+            exc_type=str(payload["exc_type"]),
+            message=str(payload["message"]),
+            attempts=int(payload["attempts"]),
+            worker=int(payload.get("worker", 0)),
+            elapsed=float(payload.get("elapsed_s", 0.0)),
+            traceback=payload.get("traceback"),
+        )
+
+
+class CellFailure(RuntimeError):
+    """A sweep aborted because a cell failed and policy said stop.
+
+    Raised with ``keep_going=False`` (the default, preserving the historic
+    fail-fast behaviour) as soon as any cell exhausts its retries, or with
+    ``keep_going=True`` once more than ``max_failures`` cells have failed.
+    """
+
+    def __init__(self, cell: str, error: RunError, reason: str = "") -> None:
+        self.cell = cell
+        self.error = error
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"sweep cell {cell} failed{detail}: {error.summary()}"
+        )
+
+
+class SweepInterrupted(RuntimeError):
+    """A SIGINT stopped the sweep; carries what completed before it landed.
+
+    ``report`` holds only the finished outcomes (cache hits and completed
+    simulations, all already flushed to the cache and journal); ``total``
+    is the size of the requested grid.
+    """
+
+    def __init__(self, report, total: int) -> None:
+        self.report = report
+        self.total = total
+        super().__init__(
+            f"sweep interrupted: {len(report.outcomes)}/{total} cells completed"
+        )

@@ -1,0 +1,302 @@
+"""Deterministic fault injection for the sweep runner.
+
+A :class:`FaultPlan` is a seeded, declarative list of faults to inject at
+the pipeline and cache seams — no wall-clock randomness anywhere, so a
+plan plus a grid always produces the same failures in the same cells on
+the same attempts.  The resilience test suite is built on it, and the CLI
+exposes it behind the hidden ``--fault-plan FILE`` flag for CI soak runs.
+
+Fault kinds, by the seam they fire at:
+
+worker (inside the cell's process, before the simulation starts)
+    ``raise``  — raise :class:`InjectedFault` (exercises retry/isolation)
+    ``delay``  — sleep ``value`` seconds (exercises ``--cell-timeout``)
+    ``kill``   — SIGKILL the worker (exercises crash detection)
+
+parent (in the sweep loop, when the matching cell completes)
+    ``interrupt`` — raise ``KeyboardInterrupt`` (exercises SIGINT cleanup)
+
+cache (inside :class:`FaultyCache`, during ``put``)
+    ``put-error``   — raise ``OSError`` as if the disk were full/read-only
+    ``short-write`` — truncate the entry mid-pickle (torn write)
+    ``corrupt``     — replace the entry with garbage bytes
+
+Cells are matched by :meth:`~repro.runner.spec.RunSpec.cell_id` with
+``fnmatch`` patterns (``"dir0b:POPS:*"``, ``"*"``), and each fault names
+the 1-based attempt it fires on (``attempt=None`` fires on every attempt —
+a permanent fault no retry can outlive).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from ..obs.log import fields as log_fields
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..runner.cache import ResultCache
+
+__all__ = [
+    "CACHE_KINDS",
+    "FAULT_KINDS",
+    "PARENT_KINDS",
+    "WORKER_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyCache",
+    "InjectedFault",
+]
+
+logger = get_logger("resilience.faults")
+
+WORKER_KINDS = ("raise", "delay", "kill")
+PARENT_KINDS = ("interrupt",)
+CACHE_KINDS = ("put-error", "short-write", "corrupt")
+FAULT_KINDS = WORKER_KINDS + PARENT_KINDS + CACHE_KINDS
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: which cells, which kind, which attempt, how hard."""
+
+    #: fnmatch pattern against RunSpec.cell_id() ("*" matches every cell)
+    cell: str
+    #: one of :data:`FAULT_KINDS`
+    kind: str
+    #: 1-based attempt this fault fires on; None = every attempt (permanent)
+    attempt: Optional[int] = 1
+    #: seconds for ``delay`` faults
+    value: float = 0.0
+    #: message for ``raise``/``put-error`` faults
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {known}")
+        if self.attempt is not None and self.attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {self.attempt}")
+        if self.value < 0:
+            raise ValueError(f"value must be >= 0, got {self.value}")
+
+    def fires(self, cell: str, attempt: int) -> bool:
+        if self.attempt is not None and self.attempt != attempt:
+            return False
+        return fnmatchcase(cell, self.cell)
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "value": self.value,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        return cls(
+            cell=str(payload["cell"]),
+            kind=str(payload["kind"]),
+            attempt=(
+                None if payload.get("attempt", 1) is None
+                else int(payload.get("attempt", 1))
+            ),
+            value=float(payload.get("value", 0.0)),
+            message=str(payload.get("message", "injected fault")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable set of faults to inject into one sweep."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    # -- matching -------------------------------------------------------------
+
+    def matching(
+        self, cell: str, attempt: int, kinds: Sequence[str]
+    ) -> Iterator[FaultSpec]:
+        for fault in self.faults:
+            if fault.kind in kinds and fault.fires(cell, attempt):
+                yield fault
+
+    def has_kind(self, *kinds: str) -> bool:
+        return any(fault.kind in kinds for fault in self.faults)
+
+    @property
+    def has_worker_kills(self) -> bool:
+        return self.has_kind("kill")
+
+    @property
+    def has_cache_faults(self) -> bool:
+        return self.has_kind(*CACHE_KINDS)
+
+    # -- firing ---------------------------------------------------------------
+
+    def fire_worker_faults(
+        self, cell: str, attempt: int, allow_kill: bool = True
+    ) -> None:
+        """Apply worker-seam faults for this (cell, attempt), in plan order.
+
+        Runs inside the worker process, or inline for serial/probed
+        sweeps — which pass ``allow_kill=False`` so a ``kill`` fault is
+        skipped (with a warning) instead of taking down the parent.
+        """
+        for fault in self.matching(cell, attempt, WORKER_KINDS):
+            if fault.kind == "delay":
+                time.sleep(fault.value)
+            elif fault.kind == "raise":
+                raise InjectedFault(fault.message)
+            elif fault.kind == "kill":
+                if not allow_kill:
+                    logger.warning(
+                        "kill fault skipped: cell is running in the parent",
+                        extra=log_fields(cell=cell, attempt=attempt),
+                    )
+                    continue
+                os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+
+    def should_interrupt(self, cell: str, attempt: int) -> bool:
+        """True when an ``interrupt`` fault fires as this cell completes."""
+        return any(self.matching(cell, attempt, PARENT_KINDS))
+
+    def cache_fault(self, cell: str, attempt: int) -> Optional[FaultSpec]:
+        """The first cache-seam fault for this (cell, put-attempt), if any."""
+        return next(iter(self.matching(cell, attempt, CACHE_KINDS)), None)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        faults = payload.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("fault plan 'faults' must be a list")
+        return cls(
+            faults=tuple(FaultSpec.from_dict(entry) for entry in faults),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def dump(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"cannot read fault plan {path}: {error}") from error
+        if not isinstance(payload, dict):
+            raise ValueError(f"fault plan {path} must be a JSON object")
+        return cls.from_dict(payload)
+
+    # -- sampling -------------------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls,
+        cells: Iterable[str],
+        kinds: Sequence[str] = ("raise",),
+        rate: float = 0.25,
+        seed: int = 0,
+        attempt: Optional[int] = 1,
+        delay_seconds: float = 5.0,
+    ) -> "FaultPlan":
+        """A pseudo-random plan over ``cells``, fully determined by ``seed``.
+
+        Each cell independently draws from a SHA-256 of ``(seed, cell)``:
+        it faults with probability ``rate``, and the fault kind cycles
+        through ``kinds`` by the same hash.  No wall-clock randomness —
+        the CI soak job regenerates the identical plan every run.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if not kinds:
+            raise ValueError("at least one fault kind is required")
+        faults = []
+        for cell in cells:
+            digest = hashlib.sha256(f"{seed}:{cell}".encode("utf-8")).digest()
+            draw = int.from_bytes(digest[:8], "big") / 2**64
+            if draw >= rate:
+                continue
+            kind = kinds[digest[8] % len(kinds)]
+            faults.append(
+                FaultSpec(
+                    cell=cell,
+                    kind=kind,
+                    attempt=attempt,
+                    value=delay_seconds if kind == "delay" else 0.0,
+                    message=f"sampled fault (seed={seed})",
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed)
+
+
+class FaultyCache(ResultCache):
+    """A :class:`ResultCache` that injects its plan's cache-seam faults.
+
+    The sweep registers each cache key's cell id as it scans the grid
+    (:meth:`register_cell`), so ``put`` can match faults by cell pattern.
+    Faults fire on the Nth *put* of a key (``attempt`` counts puts), and
+    they exercise the **base class's** degradation paths: ``put-error``
+    raises ``OSError`` inside the write (graceful skip + ``cache.put_errors``),
+    while ``short-write``/``corrupt`` land a damaged entry that the next
+    ``get`` detects, counts and deletes.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        plan: FaultPlan,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(directory, registry=registry)
+        self.plan = plan
+        self._cells: dict = {}
+        self._puts: dict = {}
+
+    def register_cell(self, key: str, cell: str) -> None:
+        """Remember which cell id a cache key belongs to (for matching)."""
+        self._cells[key] = cell
+
+    def _write_result(self, key: str, tmp: Path, result) -> None:
+        cell = self._cells.get(key, "")
+        attempt = self._puts.get(key, 0) + 1
+        self._puts[key] = attempt
+        fault = self.plan.cache_fault(cell, attempt)
+        if fault is not None and fault.kind == "put-error":
+            raise OSError(f"injected cache put error: {fault.message}")
+        super()._write_result(key, tmp, result)
+        if fault is not None:
+            logger.warning(
+                "injecting cache fault",
+                extra=log_fields(kind=fault.kind, key=key, cell=cell),
+            )
+            if fault.kind == "short-write":
+                with tmp.open("rb+") as handle:
+                    handle.truncate(max(1, tmp.stat().st_size // 2))
+            elif fault.kind == "corrupt":
+                tmp.write_bytes(b"\x00corrupt cache entry\x00")

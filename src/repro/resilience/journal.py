@@ -1,0 +1,176 @@
+"""The sweep journal: a crash-safe, append-only record of per-cell outcomes.
+
+Completed cell *results* already land in the
+:class:`~repro.runner.cache.ResultCache` as they finish; the journal adds
+the missing half of crash-safety: a durable record of which cells
+**succeeded, failed (and why), or never ran**, so a killed sweep can be
+resumed with ``repro-coherence sweep --resume`` — journaled successes are
+served from the cache with zero re-simulation and only the failures are
+re-dispatched.
+
+Format: one JSON object per line in ``<sweep-key>.journal.jsonl``, where
+the sweep key hashes the sorted cache keys of the grid (same grid → same
+journal, regardless of axis ordering).  Events::
+
+    {"event": "sweep-start", "cells": N, "jobs": J, "ts": ...}
+    {"event": "cell", "key": "<cache-key>", "cell": "<cell-id>",
+     "status": "ok"|"failed", "cached": bool, "attempts": n,
+     "elapsed_s": s, "error": {...}?, "ts": ...}
+    {"event": "sweep-end", "status": "finished"|"failed"|"interrupted", ...}
+
+Appends are single ``write()`` calls of one line to a file opened with
+``O_APPEND``, flushed and fsynced — atomic for any realistic line length,
+so a journal written by a SIGKILL'd sweep has at most one torn final line.
+:meth:`SweepJournal.load` tolerates exactly that: undecodable lines are
+skipped, and the **last** record per cache key wins (a resumed sweep
+appends fresh records to the same file).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from ..obs.log import fields, get_logger
+from .errors import RunError
+
+__all__ = ["SweepJournal"]
+
+logger = get_logger("resilience.journal")
+
+JOURNAL_SUFFIX = ".journal.jsonl"
+
+
+class SweepJournal:
+    """Append-only JSONL record of one sweep grid's per-cell outcomes."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def sweep_key(cache_keys: Iterable[str]) -> str:
+        """Stable identity of a grid: hash of its sorted cell cache keys."""
+        token = "|".join(sorted(cache_keys))
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()[:40]
+
+    @classmethod
+    def for_sweep(
+        cls, directory: Union[str, Path], cache_keys: Iterable[str]
+    ) -> "SweepJournal":
+        """The journal for this grid, living next to its cached results."""
+        key = cls.sweep_key(cache_keys)
+        return cls(Path(directory) / f"{key}{JOURNAL_SUFFIX}")
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- writing --------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        # One write() to an O_APPEND descriptor + fsync: concurrent sweeps
+        # interleave whole lines, and a kill leaves at most one torn tail.
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def record_start(self, cells: int, jobs: int) -> None:
+        self._append(
+            {"event": "sweep-start", "cells": cells, "jobs": jobs,
+             "ts": time.time()}
+        )
+
+    def record_cell(
+        self,
+        key: str,
+        cell: str,
+        status: str,
+        cached: bool = False,
+        attempts: int = 1,
+        elapsed: float = 0.0,
+        error: Optional[RunError] = None,
+    ) -> None:
+        record = {
+            "event": "cell",
+            "key": key,
+            "cell": cell,
+            "status": status,
+            "cached": cached,
+            "attempts": attempts,
+            "elapsed_s": round(elapsed, 6),
+            "ts": time.time(),
+        }
+        if error is not None:
+            record["error"] = error.to_dict()
+        self._append(record)
+
+    def record_end(self, status: str, ok: int, failed: int) -> None:
+        self._append(
+            {"event": "sweep-end", "status": status, "ok": ok,
+             "failed": failed, "ts": time.time()}
+        )
+
+    # -- reading --------------------------------------------------------------
+
+    def load(self) -> Dict[str, dict]:
+        """Last-wins cell records keyed by cache key (empty if no journal).
+
+        Torn or undecodable lines (a writer killed mid-append) are counted,
+        logged and skipped — they never poison a resume.
+        """
+        records: Dict[str, dict] = {}
+        torn = 0
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        torn += 1
+                        continue
+                    if (
+                        isinstance(record, dict)
+                        and record.get("event") == "cell"
+                        and isinstance(record.get("key"), str)
+                    ):
+                        records[record["key"]] = record
+        except FileNotFoundError:
+            return {}
+        if torn:
+            logger.warning(
+                "journal has undecodable lines (torn writes); skipped",
+                extra=fields(path=str(self.path), torn=torn),
+            )
+        return records
+
+    def successes(self) -> Dict[str, dict]:
+        """Journaled cells whose last record says the cell completed."""
+        return {
+            key: record
+            for key, record in self.load().items()
+            if record.get("status") == "ok"
+        }
+
+    def failures(self) -> Dict[str, dict]:
+        """Journaled cells whose last record says the cell failed."""
+        return {
+            key: record
+            for key, record in self.load().items()
+            if record.get("status") == "failed"
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SweepJournal({str(self.path)!r})"

@@ -1,0 +1,56 @@
+"""Retry policy: bounded attempts, exponential backoff, deterministic jitter.
+
+The sweep runner retries failed cells (exceptions, timeouts, killed
+workers) up to ``retries`` extra attempts.  Backoff doubles per attempt up
+to a cap, and the jitter that de-synchronises retrying workers is derived
+from a SHA-256 of the cell's cache key and the attempt number — **not**
+from wall-clock randomness — so a given grid always waits the exact same
+schedule run after run.  That keeps the whole resilience layer replayable:
+a seeded :class:`~repro.resilience.faults.FaultPlan` plus a fixed policy
+produces one deterministic execution trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many extra attempts a failed cell gets, and how long to wait."""
+
+    #: extra attempts after the first (0 = fail on first error)
+    retries: int = 0
+    #: backoff before the first retry, in seconds
+    base_seconds: float = 0.05
+    #: ceiling on any single backoff, in seconds
+    cap_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_seconds < 0 or self.cap_seconds < 0:
+            raise ValueError("backoff seconds must be >= 0")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a cell may consume (first try + retries)."""
+        return self.retries + 1
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before re-dispatching ``key`` after ``attempt`` failed.
+
+        ``attempt`` is 1-based (the attempt that just failed).  The value
+        is ``base * 2^(attempt-1)`` capped at ``cap_seconds``, scaled by a
+        jitter factor in ``[0.5, 1.0)`` hashed from ``(key, attempt)`` —
+        fully deterministic, never wall-clock random.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.cap_seconds, self.base_seconds * (2 ** (attempt - 1)))
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2**64  # [0.0, 1.0)
+        return raw * (0.5 + 0.5 * jitter)

@@ -16,7 +16,13 @@ RSS) for every number the cache can serve.  Manifests are advisory: their
 absence or corruption never invalidates the pickled result.
 
 Writes go through a temp file + :func:`os.replace` so concurrent sweeps
-sharing a cache directory never observe half-written entries.
+sharing a cache directory never observe half-written entries.  A write
+that fails outright — full or read-only disk, permissions — is *degraded*,
+not fatal: :meth:`ResultCache.put` logs it, bumps the ``cache.put_errors``
+metric and returns ``False``, and the sweep keeps the in-memory result and
+carries on (the cell simply won't be warm next run).  Leftover ``*.tmp``
+files from writers that were killed mid-write are swept when the cache is
+opened.
 """
 
 from __future__ import annotations
@@ -58,6 +64,21 @@ class ResultCache:
         self.misses = 0
         #: lookups that found an undecodable entry (subset of ``misses``)
         self.corrupt = 0
+        #: stores that failed and were degraded to in-memory-only results
+        self.put_errors = 0
+        self._sweep_tmp_files()
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove ``*.tmp`` leftovers from writers killed mid-write."""
+        swept = 0
+        for tmp in self.directory.glob("*.tmp"):
+            tmp.unlink(missing_ok=True)
+            swept += 1
+        if swept:
+            logger.warning(
+                "swept leftover temp files from interrupted writers",
+                extra=fields(directory=str(self.directory), swept=swept),
+            )
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -107,25 +128,61 @@ class ResultCache:
         except (OSError, ValueError, TypeError, KeyError):
             return None
 
+    def _write_result(self, key: str, tmp: Path, result: SimulationResult) -> None:
+        """Seam: serialise ``result`` to ``tmp`` (overridden by fault injection)."""
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _put_error(self, key: str, tmp: Path, error: OSError) -> None:
+        """Degrade a failed store: log, count, clean up, carry on."""
+        self.put_errors += 1
+        self.registry.counter("cache.put_errors").inc()
+        logger.warning(
+            "cache store failed; keeping result in memory only",
+            extra=fields(
+                key=key, reason=f"{type(error).__name__}: {error}"
+            ),
+        )
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - same sick disk
+            pass
+
     def put(
         self,
         key: str,
         result: SimulationResult,
         manifest: Optional[RunManifest] = None,
-    ) -> None:
-        """Store ``result`` (and its provenance) under ``key`` atomically."""
+    ) -> bool:
+        """Store ``result`` (and its provenance) under ``key`` atomically.
+
+        Returns ``True`` when the result landed on disk.  A failed write
+        (full or read-only disk) is degraded, never raised: the error is
+        logged, counted in ``cache.put_errors``/:attr:`put_errors`, and
+        ``False`` comes back so the caller knows the entry stayed
+        in-memory only.
+        """
         path = self.path_for(key)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        try:
+            self._write_result(key, tmp, result)
+            os.replace(tmp, path)
+        except OSError as error:
+            self._put_error(key, tmp, error)
+            return False
         if manifest is not None:
             manifest_path = self.manifest_path_for(key)
             manifest_tmp = manifest_path.with_name(
                 f"{manifest_path.name}.{os.getpid()}.tmp"
             )
-            manifest.write(manifest_tmp)
-            os.replace(manifest_tmp, manifest_path)
+            try:
+                manifest.write(manifest_tmp)
+                os.replace(manifest_tmp, manifest_path)
+            except OSError as error:
+                # The result is safe; losing advisory provenance is logged
+                # and counted but never fails the store.
+                self._put_error(key, manifest_tmp, error)
+        return True
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many results were removed."""
@@ -151,5 +208,6 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"ResultCache({str(self.directory)!r}, entries={len(self)}, "
-            f"hits={self.hits}, misses={self.misses}, corrupt={self.corrupt})"
+            f"hits={self.hits}, misses={self.misses}, corrupt={self.corrupt}, "
+            f"put_errors={self.put_errors})"
         )

@@ -145,6 +145,22 @@ class RunSpec:
             "geometry": self.geometry or INFINITE_GEOMETRY,
         }
 
+    def cell_id(self) -> str:
+        """Human-readable cell identity within a grid (fault-plan matching).
+
+        Spells the axes a grid typically varies —
+        ``protocol:TRACE:bBLOCK:gGEOMETRY:sharing:seedSEED`` — so fnmatch
+        patterns like ``"dir0b:POPS:*"`` select cells without knowing the
+        opaque :meth:`cache_key` hash.  Unlike the cache key it omits
+        scale/versions and is **not** a replay identity.
+        """
+        seed = "cal" if self.seed is None else str(self.seed)
+        return (
+            f"{self.protocol}:{self.trace}:b{self.block_size}"
+            f":g{self.geometry or INFINITE_GEOMETRY}"
+            f":{self.sharing_model.value}:seed{seed}"
+        )
+
     def cache_key(self) -> str:
         """Stable content hash identifying this spec's result on disk."""
         token = "|".join(

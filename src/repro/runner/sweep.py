@@ -2,20 +2,40 @@
 
 One sweep executes a grid of :class:`~repro.runner.spec.RunSpec`s —
 consulting the optional :class:`~repro.runner.cache.ResultCache` first,
-fanning the misses over a ``multiprocessing`` pool (``jobs > 1``) or
-running them inline (``jobs == 1``) — and returns a :class:`SweepReport`
-carrying every result plus the throughput and cache metrics.
+fanning the misses over worker processes (``jobs > 1``) or running them
+inline (``jobs == 1``) — and returns a :class:`SweepReport` carrying every
+result plus the throughput and cache metrics.
+
+Resilience (see ``docs/robustness.md``): cells execute one process per
+attempt through :class:`~repro.resilience.executor.CellExecutor`, so a
+cell that raises, hangs past ``cell_timeout`` (SIGKILLed by the parent) or
+loses its worker to a crash becomes a structured
+:class:`~repro.resilience.errors.RunError` rather than a hung or aborted
+sweep.  Failed attempts are retried with exponential backoff and
+deterministic jitter (:class:`~repro.resilience.retry.RetryPolicy`); a
+cell that exhausts its budget either aborts the sweep
+(``keep_going=False``, the historic fail-fast default, raising
+:class:`~repro.resilience.errors.CellFailure`) or lands in
+:attr:`SweepReport.failures` while the rest of the grid completes.  A
+:class:`~repro.resilience.journal.SweepJournal` records every outcome for
+crash-safe ``--resume``, SIGINT tears the pool down promptly and raises
+:class:`~repro.resilience.errors.SweepInterrupted` with the flushed
+partial results, and a seeded
+:class:`~repro.resilience.faults.FaultPlan` can inject failures at every
+seam for testing.
 
 Observability: every sweep tallies into a
 :class:`~repro.obs.metrics.MetricsRegistry` (wall time, cell timings,
-cache traffic; exposed as :attr:`SweepReport.registry` and via
+cache traffic, ``sweep.failures``/``sweep.retries``/``sweep.timeouts``;
+exposed as :attr:`SweepReport.registry` and via
 :meth:`SweepReport.metrics_dict` for ``--metrics-json``), every executed
 cell carries a :class:`~repro.obs.manifest.RunManifest` with its
-provenance (also serialised next to cached results), progress and
-heartbeat lines go through the structured ``repro.runner.sweep`` logger,
-and a ``probe_factory`` can attach a per-reference
-:class:`~repro.obs.probe.ReferenceProbe` to each simulated cell (probed
-sweeps run inline, since event streams cannot cross process boundaries).
+provenance (failed cells carry the failure record in the manifest's
+``error`` field), progress and heartbeat lines go through the structured
+``repro.runner.sweep`` logger, and a ``probe_factory`` can attach a
+per-reference :class:`~repro.obs.probe.ReferenceProbe` to each simulated
+cell (probed sweeps run inline, since event streams cannot cross process
+boundaries).
 
 Determinism contract: the outcome list is ordered exactly like the input
 spec list regardless of worker scheduling, and each worker reconstructs its
@@ -27,11 +47,11 @@ the CLI routes them to stderr.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.comparison import ComparisonResult
 from ..core.simulator import SimulationResult
@@ -40,6 +60,10 @@ from ..obs.log import fields, get_logger
 from ..obs.manifest import RunManifest, collect_manifest
 from ..obs.metrics import MetricsRegistry
 from ..obs.probe import ReferenceProbe
+from ..resilience.errors import CellFailure, RunError, SweepInterrupted
+from ..resilience.executor import CellExecutor
+from ..resilience.journal import SweepJournal
+from ..resilience.retry import RetryPolicy
 from .cache import ResultCache
 from .spec import INFINITE_GEOMETRY, RunSpec
 
@@ -47,7 +71,8 @@ __all__ = ["RunOutcome", "SweepReport", "run_sweep"]
 
 logger = get_logger("runner.sweep")
 
-#: Hook called once per completed cell, in spec order.
+#: Hook called once per completed cell (cache hits in spec order first,
+#: then simulated cells in completion order).
 ProgressHook = Callable[["RunOutcome"], None]
 
 #: Factory producing a per-cell probe for instrumented sweeps.
@@ -59,17 +84,30 @@ HEARTBEAT_SECONDS = 10.0
 
 @dataclass(frozen=True)
 class RunOutcome:
-    """One executed (or cache-served) sweep cell."""
+    """One sweep cell: cache-served, executed, or failed."""
 
     spec: RunSpec
-    result: SimulationResult
+    #: the simulated counters, or None when the cell failed
+    result: Optional[SimulationResult]
     cached: bool
     #: simulation seconds (0.0 for cache hits)
     elapsed: float
-    #: pid of the process that produced the result
+    #: pid of the process that produced the result (or final failure)
     worker: int
     #: provenance of the execution (None when served from a pre-manifest cache)
     manifest: Optional[RunManifest] = None
+    #: why the cell failed, across all attempts (None on success)
+    error: Optional[RunError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __post_init__(self) -> None:
+        if (self.result is None) == (self.error is None):
+            raise ValueError(
+                "a RunOutcome carries exactly one of result or error"
+            )
 
 
 @dataclass(frozen=True)
@@ -90,9 +128,21 @@ class SweepReport:
         return len(self.outcomes)
 
     @property
+    def successes(self) -> Tuple[RunOutcome, ...]:
+        """Cells that produced a result (cache-served or simulated)."""
+        return tuple(outcome for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failures(self) -> Tuple[RunOutcome, ...]:
+        """Cells that exhausted their attempts without a result."""
+        return tuple(outcome for outcome in self.outcomes if not outcome.ok)
+
+    @property
     def simulations(self) -> int:
-        """Cells actually simulated this run (cache misses)."""
-        return sum(1 for outcome in self.outcomes if not outcome.cached)
+        """Cells actually simulated to completion this run (cache misses)."""
+        return sum(
+            1 for outcome in self.outcomes if outcome.ok and not outcome.cached
+        )
 
     @property
     def cache_hits(self) -> int:
@@ -106,13 +156,13 @@ class SweepReport:
 
     @property
     def total_references(self) -> int:
-        return sum(outcome.result.references for outcome in self.outcomes)
+        return sum(outcome.result.references for outcome in self.successes)
 
     @property
     def simulated_references(self) -> int:
         return sum(
             outcome.result.references
-            for outcome in self.outcomes
+            for outcome in self.successes
             if not outcome.cached
         )
 
@@ -127,7 +177,7 @@ class SweepReport:
         """Per-worker (cells simulated, simulation seconds), keyed by pid."""
         timings: Dict[int, Tuple[int, float]] = {}
         for outcome in self.outcomes:
-            if outcome.cached:
+            if outcome.cached or not outcome.ok:
                 continue
             cells, seconds = timings.get(outcome.worker, (0, 0.0))
             timings[outcome.worker] = (cells + 1, seconds + outcome.elapsed)
@@ -142,6 +192,13 @@ class SweepReport:
         result per (protocol, trace) cell and a complete cross product —
         the shape every paper table and figure consumes.
         """
+        if self.failures:
+            failed = [outcome.spec.cell_id() for outcome in self.failures]
+            raise ValueError(
+                f"grid has {len(failed)} failed cells ({', '.join(failed)}); "
+                "a comparison needs every cell's result — retry the failures "
+                "(e.g. sweep --resume) first"
+            )
         protocols: List[str] = []
         traces: List[str] = []
         results: Dict[str, Dict[str, SimulationResult]] = {}
@@ -182,12 +239,40 @@ class SweepReport:
         for outcome in self.outcomes:
             spec, result = outcome.spec, outcome.result
             geometry = spec.geometry or INFINITE_GEOMETRY
-            lines.append(
+            prefix = (
                 f"{spec.protocol:<13}{spec.trace:<7}{spec.block_size:>6}"
                 f"{geometry:>10}"
-                f"{spec.sharing_model.value:>10}{result.references:>10}"
-                f"{result.cycles_per_reference(pipe):>14.6f}"
-                f"{result.cycles_per_reference(nonpipe):>14.6f}"
+                f"{spec.sharing_model.value:>10}"
+            )
+            if outcome.ok:
+                lines.append(
+                    prefix
+                    + f"{result.references:>10}"
+                    f"{result.cycles_per_reference(pipe):>14.6f}"
+                    f"{result.cycles_per_reference(nonpipe):>14.6f}"
+                )
+            else:
+                lines.append(
+                    prefix
+                    + f"{'-':>10}{'FAILED':>14}{outcome.error.kind:>14}"
+                )
+        return "\n".join(lines)
+
+    def failure_table(self) -> str:
+        """Deterministic failure summary: cell, kind, attempts, error."""
+        failures = self.failures
+        if not failures:
+            return "no failures"
+        header = f"{'cell':<44}{'kind':<14}{'attempts':>9}  error"
+        lines = [header, "-" * len(header)]
+        for outcome in failures:
+            error = outcome.error
+            description = f"{error.exc_type}: {error.message}"
+            if len(description) > 72:
+                description = description[:69] + "..."
+            lines.append(
+                f"{outcome.spec.cell_id():<44}{error.kind:<14}"
+                f"{error.attempts:>9}  {description}"
             )
         return "\n".join(lines)
 
@@ -195,8 +280,8 @@ class SweepReport:
         """Human-readable throughput / cache metrics (non-deterministic)."""
         lines = [
             f"sweep: {self.cells} cells ({self.simulations} simulated, "
-            f"{self.cache_hits} cached) in {self.wall_time:.2f}s wall, "
-            f"jobs={self.jobs}",
+            f"{self.cache_hits} cached, {len(self.failures)} failed) "
+            f"in {self.wall_time:.2f}s wall, jobs={self.jobs}",
             f"refs: {self.total_references:,} total, "
             f"{self.simulated_references:,} simulated, "
             f"{self.refs_per_sec:,.0f} refs/sec",
@@ -216,6 +301,10 @@ class SweepReport:
             "simulated": self.simulations,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
+            "failures": [
+                {"cell": outcome.spec.cell_id(), **outcome.error.to_dict()}
+                for outcome in self.failures
+            ],
             "jobs": self.jobs,
             "wall_s": self.wall_time,
             "total_references": self.total_references,
@@ -229,26 +318,6 @@ class SweepReport:
         }
 
 
-def _execute(spec: RunSpec) -> Tuple[SimulationResult, float, int, RunManifest]:
-    """Worker entry point: simulate one cell, timing it and manifesting it."""
-    start = time.perf_counter()
-    result = spec.run()
-    elapsed = time.perf_counter() - start
-    manifest = collect_manifest(spec.as_dict(), spec.cache_key(), elapsed)
-    return result, elapsed, os.getpid(), manifest
-
-
-def _execute_probed(
-    spec: RunSpec, probe: Optional[ReferenceProbe]
-) -> Tuple[SimulationResult, float, int, RunManifest]:
-    """Inline execution with a per-reference probe attached."""
-    start = time.perf_counter()
-    result = spec.run(probe=probe)
-    elapsed = time.perf_counter() - start
-    manifest = collect_manifest(spec.as_dict(), spec.cache_key(), elapsed)
-    return result, elapsed, os.getpid(), manifest
-
-
 def run_sweep(
     specs: Sequence[RunSpec],
     jobs: int = 1,
@@ -256,30 +325,103 @@ def run_sweep(
     progress: Optional[ProgressHook] = None,
     probe_factory: Optional[ProbeFactory] = None,
     registry: Optional[MetricsRegistry] = None,
+    retry: Union[int, RetryPolicy] = 0,
+    cell_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    max_failures: Optional[int] = None,
+    faults=None,
+    journal: Optional[SweepJournal] = None,
+    resume: bool = False,
 ) -> SweepReport:
     """Execute a sweep grid, optionally in parallel and through a cache.
 
     Cache lookups happen up front in the parent; only misses are dispatched
     to workers, and their results (plus run manifests) are written back to
     the cache by the parent (one writer, no cross-process races on fresh
-    entries).  The ``progress`` hook fires once per cell — cache hits
-    first, then simulated cells in spec order.  ``probe_factory``, when
-    given, produces a per-reference probe for every simulated cell and
-    forces inline execution (probes cannot stream across processes).
-    ``registry`` collects the sweep's metrics; a fresh one is created when
-    omitted and either way it rides on the returned report.
+    entries).  The ``progress`` hook fires once per cell — cache hits in
+    spec order first, then executed cells as they complete.
+    ``probe_factory``, when given, produces a per-reference probe for every
+    simulated cell and forces inline execution (probes cannot stream across
+    processes).  ``registry`` collects the sweep's metrics; a fresh one is
+    created when omitted and either way it rides on the returned report.
+
+    Resilience knobs:
+
+    * ``retry`` — extra attempts per failed cell: an int, or a full
+      :class:`RetryPolicy` to control backoff.  Backoff jitter is hashed
+      from the cell's cache key, never wall-clock random.
+    * ``cell_timeout`` — per-cell wall-clock budget in seconds; overruns
+      are SIGKILLed and count as a (retryable) ``timeout`` failure.
+      Enforcing it requires a child process, so it applies even at
+      ``jobs=1`` (probed sweeps excepted).
+    * ``keep_going`` / ``max_failures`` — with ``keep_going=False`` (the
+      default) the first cell to exhaust its attempts raises
+      :class:`CellFailure`; with ``keep_going=True`` failures become
+      outcomes in :attr:`SweepReport.failures` until more than
+      ``max_failures`` of them accumulate.
+    * ``journal`` / ``resume`` — a :class:`SweepJournal` records every
+      outcome as it lands; ``resume=True`` additionally reports what a
+      prior journal already covered (journaled successes are served from
+      the cache, so only failed/missing cells re-simulate).
+    * ``faults`` — a :class:`~repro.resilience.faults.FaultPlan` for
+      deterministic fault injection (tests and CI soak runs).
     """
     specs = list(specs)
     if not specs:
         raise ValueError("at least one RunSpec is required")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
+    if max_failures is not None and max_failures < 0:
+        raise ValueError(f"max_failures must be >= 0, got {max_failures}")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal")
+    policy = retry if isinstance(retry, RetryPolicy) else RetryPolicy(int(retry))
     registry = registry if registry is not None else MetricsRegistry()
-    if probe_factory is not None and jobs > 1:
+    probed = probe_factory is not None
+    if probed and jobs > 1:
         logger.warning(
             "probed sweeps run inline; ignoring --jobs",
             extra=fields(jobs=jobs),
         )
+    if probed and cell_timeout is not None:
+        logger.warning(
+            "probed sweeps run inline; cell timeouts are not enforced",
+            extra=fields(cell_timeout=cell_timeout),
+        )
+    needs_processes = not probed and (
+        cell_timeout is not None
+        or (faults is not None and faults.has_worker_kills)
+    )
+    use_executor = not probed and (jobs > 1 or needs_processes)
+
+    keys = [spec.cache_key() for spec in specs]
+    cell_ids = [spec.cell_id() for spec in specs]
+    register = getattr(cache, "register_cell", None)
+    if register is not None:
+        for key, cell in zip(keys, cell_ids):
+            register(key, cell)
+
+    journaled_ok: set = set()
+    if resume:
+        prior = journal.load()
+        journaled_ok = {
+            key for key, record in prior.items() if record.get("status") == "ok"
+        }
+        logger.info(
+            "resuming sweep from journal",
+            extra=fields(
+                journal=str(journal.path),
+                journaled_ok=len(journaled_ok & set(keys)),
+                journaled_failed=sum(
+                    1 for r in prior.values() if r.get("status") == "failed"
+                ),
+                cells=len(specs),
+            ),
+        )
+    if journal is not None:
+        journal.record_start(len(specs), jobs)
 
     wall = registry.timer("sweep.wall_seconds")
     wall_before = wall.total_seconds
@@ -289,14 +431,18 @@ def run_sweep(
         "sweep started",
         extra=fields(
             cells=len(specs), jobs=jobs, cache=cache is not None,
-            probed=probe_factory is not None,
+            probed=probed, retries=policy.retries,
+            cell_timeout=cell_timeout, keep_going=keep_going,
+            resume=resume, faults=faults is not None,
         ),
     )
 
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     pending: List[int] = []
     done = 0
+    failed_cells = 0
     last_beat = time.perf_counter()
+    executor: Optional[CellExecutor] = None
 
     def _heartbeat() -> None:
         nonlocal last_beat
@@ -309,16 +455,153 @@ def run_sweep(
                 extra=fields(
                     done=done,
                     total=len(specs),
-                    simulated=sum(1 for o in finished if not o.cached),
-                    references=sum(o.result.references for o in finished),
+                    simulated=sum(
+                        1 for o in finished if o.ok and not o.cached
+                    ),
+                    failed=sum(1 for o in finished if not o.ok),
+                    references=sum(
+                        o.result.references for o in finished if o.ok
+                    ),
                 ),
             )
 
-    with wall.time():
-        for index, spec in enumerate(specs):
-            cached_result = (
-                cache.get(spec.cache_key()) if cache is not None else None
+    def _journal_cell(
+        index: int,
+        status: str,
+        cached: bool = False,
+        attempts: int = 1,
+        elapsed: float = 0.0,
+        error: Optional[RunError] = None,
+    ) -> None:
+        if journal is not None:
+            journal.record_cell(
+                keys[index], cell_ids[index], status,
+                cached=cached, attempts=attempts, elapsed=elapsed, error=error,
             )
+
+    def _complete(
+        index: int,
+        payload: Tuple[SimulationResult, float, int, RunManifest],
+        attempt: int = 1,
+    ) -> None:
+        nonlocal done
+        result, elapsed, worker, manifest = payload
+        outcome = RunOutcome(
+            spec=specs[index],
+            result=result,
+            cached=False,
+            elapsed=elapsed,
+            worker=worker,
+            manifest=manifest,
+        )
+        outcomes[index] = outcome
+        done += 1
+        registry.counter("sweep.simulated").inc()
+        registry.histogram("sweep.cell_seconds").observe(elapsed)
+        if cache is not None:
+            cache.put(keys[index], result, manifest=manifest)
+        _journal_cell(index, "ok", attempts=attempt, elapsed=elapsed)
+        logger.debug(
+            "cell simulated",
+            extra=fields(
+                protocol=specs[index].protocol,
+                trace=specs[index].trace,
+                elapsed_s=round(elapsed, 4),
+                worker=worker,
+                attempt=attempt,
+            ),
+        )
+        if progress is not None:
+            progress(outcome)
+        _heartbeat()
+        if faults is not None and faults.should_interrupt(
+            cell_ids[index], attempt
+        ):
+            raise KeyboardInterrupt  # injected SIGINT (fault harness)
+
+    def _fail(index: int, error: RunError) -> None:
+        nonlocal done, failed_cells
+        spec = specs[index]
+        manifest = collect_manifest(
+            spec.as_dict(), keys[index], error.elapsed,
+            worker_pid=error.worker, error=error.to_dict(),
+        )
+        outcome = RunOutcome(
+            spec=spec,
+            result=None,
+            cached=False,
+            elapsed=error.elapsed,
+            worker=error.worker,
+            manifest=manifest,
+            error=error,
+        )
+        outcomes[index] = outcome
+        done += 1
+        failed_cells += 1
+        registry.counter("sweep.failures").inc()
+        _journal_cell(
+            index, "failed",
+            attempts=error.attempts, elapsed=error.elapsed, error=error,
+        )
+        logger.error(
+            "cell failed",
+            extra=fields(
+                cell=cell_ids[index], kind=error.kind,
+                error=f"{error.exc_type}: {error.message}",
+                attempts=error.attempts, worker=error.worker,
+            ),
+        )
+        if progress is not None:
+            progress(outcome)
+        _heartbeat()
+        if not keep_going:
+            raise CellFailure(cell_ids[index], error)
+        if max_failures is not None and failed_cells > max_failures:
+            raise CellFailure(
+                cell_ids[index], error,
+                reason=f"more than max_failures={max_failures} cells failed",
+            )
+
+    def _retry_or_fail(
+        index: int,
+        attempt: int,
+        kind: str,
+        exc_type: str,
+        message: str,
+        trace_back: Optional[str],
+        worker: int,
+        elapsed: float,
+    ) -> Optional[float]:
+        """Backoff seconds when a retry is granted; None after recording failure."""
+        if kind == "timeout":
+            registry.counter("sweep.timeouts").inc()
+        if attempt < policy.max_attempts:
+            registry.counter("sweep.retries").inc()
+            delay = policy.delay(keys[index], attempt)
+            logger.warning(
+                "cell attempt failed; retrying",
+                extra=fields(
+                    cell=cell_ids[index], kind=kind, attempt=attempt,
+                    max_attempts=policy.max_attempts,
+                    backoff_s=round(delay, 3),
+                    error=f"{exc_type}: {message}",
+                ),
+            )
+            return delay
+        _fail(
+            index,
+            RunError(
+                kind=kind, exc_type=exc_type, message=message,
+                attempts=attempt, worker=worker, elapsed=elapsed,
+                traceback=trace_back,
+            ),
+        )
+        return None
+
+    def _scan_cache() -> None:
+        nonlocal done
+        for index, spec in enumerate(specs):
+            cached_result = cache.get(keys[index]) if cache is not None else None
             if cached_result is not None:
                 outcome = RunOutcome(
                     spec=spec,
@@ -326,64 +609,120 @@ def run_sweep(
                     cached=True,
                     elapsed=0.0,
                     worker=os.getpid(),
-                    manifest=cache.get_manifest(spec.cache_key()),
+                    manifest=cache.get_manifest(keys[index]),
                 )
                 outcomes[index] = outcome
                 done += 1
                 registry.counter("sweep.cache_hits").inc()
+                _journal_cell(index, "ok", cached=True)
                 if progress is not None:
                     progress(outcome)
                 _heartbeat()
             else:
+                if resume and keys[index] in journaled_ok:
+                    logger.warning(
+                        "journaled success missing from cache; re-simulating",
+                        extra=fields(cell=cell_ids[index]),
+                    )
                 pending.append(index)
 
-        def _complete(
-            index: int,
-            payload: Tuple[SimulationResult, float, int, RunManifest],
-        ) -> None:
-            nonlocal done
-            result, elapsed, worker, manifest = payload
-            outcome = RunOutcome(
-                spec=specs[index],
-                result=result,
-                cached=False,
-                elapsed=elapsed,
-                worker=worker,
-                manifest=manifest,
-            )
-            outcomes[index] = outcome
-            done += 1
-            registry.counter("sweep.simulated").inc()
-            registry.histogram("sweep.cell_seconds").observe(elapsed)
-            if cache is not None:
-                cache.put(specs[index].cache_key(), result, manifest=manifest)
-            logger.debug(
-                "cell simulated",
-                extra=fields(
-                    protocol=specs[index].protocol,
-                    trace=specs[index].trace,
-                    elapsed_s=round(elapsed, 4),
-                    worker=worker,
-                ),
-            )
-            if progress is not None:
-                progress(outcome)
+    def _run_inline() -> None:
+        for index in pending:
+            attempt = 1
+            while True:
+                probe = probe_factory(specs[index]) if probed else None
+                start = time.perf_counter()
+                try:
+                    if faults is not None:
+                        faults.fire_worker_faults(
+                            cell_ids[index], attempt, allow_kill=False
+                        )
+                    result = specs[index].run(probe=probe)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    elapsed = time.perf_counter() - start
+                    delay = _retry_or_fail(
+                        index, attempt, "exception", type(exc).__name__,
+                        str(exc), traceback_module.format_exc(),
+                        os.getpid(), elapsed,
+                    )
+                    if delay is None:
+                        break
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                elapsed = time.perf_counter() - start
+                manifest = collect_manifest(
+                    specs[index].as_dict(), keys[index], elapsed
+                )
+                _complete(
+                    index, (result, elapsed, os.getpid(), manifest), attempt
+                )
+                break
+
+    def _run_executor() -> None:
+        nonlocal executor
+        pool_size = max(1, min(jobs, len(pending)))
+        executor = CellExecutor(
+            jobs=pool_size, timeout=cell_timeout, faults=faults
+        )
+        for index in pending:
+            executor.submit(index, specs[index], attempt=1)
+        while executor.active:
+            for event in executor.poll():
+                if event.ok:
+                    _complete(event.index, event.payload, event.attempt)
+                else:
+                    delay = _retry_or_fail(
+                        event.index, event.attempt, event.kind,
+                        event.exc_type, event.message, event.traceback,
+                        event.worker, event.elapsed,
+                    )
+                    if delay is not None:
+                        executor.submit(
+                            event.index, specs[event.index],
+                            event.attempt + 1, delay,
+                        )
             _heartbeat()
 
-        if pending:
-            if probe_factory is not None:
-                for index in pending:
-                    probe = probe_factory(specs[index])
-                    _complete(index, _execute_probed(specs[index], probe))
-            elif jobs == 1:
-                for index in pending:
-                    _complete(index, _execute(specs[index]))
-            else:
-                pool_size = min(jobs, len(pending))
-                with multiprocessing.Pool(processes=pool_size) as pool:
-                    payloads = pool.imap(_execute, [specs[i] for i in pending])
-                    for index, payload in zip(pending, payloads):
-                        _complete(index, payload)
+    def _finished_counts() -> Tuple[int, int]:
+        finished = [o for o in outcomes if o is not None]
+        ok = sum(1 for o in finished if o.ok)
+        return ok, len(finished) - ok
+
+    try:
+        with wall.time():
+            _scan_cache()
+            if pending:
+                if use_executor:
+                    _run_executor()
+                else:
+                    _run_inline()
+    except KeyboardInterrupt:
+        if executor is not None:
+            executor.abort()
+        ok, failed = _finished_counts()
+        if journal is not None:
+            journal.record_end("interrupted", ok, failed)
+        partial = SweepReport(
+            outcomes=tuple(o for o in outcomes if o is not None),
+            wall_time=wall.total_seconds - wall_before,
+            jobs=jobs,
+            registry=registry,
+        )
+        logger.warning(
+            "sweep interrupted; completed cells are flushed",
+            extra=fields(completed=ok + failed, total=len(specs)),
+        )
+        raise SweepInterrupted(partial, len(specs)) from None
+    except CellFailure:
+        if executor is not None:
+            executor.abort()
+        ok, failed = _finished_counts()
+        if journal is not None:
+            journal.record_end("failed", ok, failed)
+        raise
 
     wall_time = wall.total_seconds - wall_before
     report = SweepReport(
@@ -392,6 +731,10 @@ def run_sweep(
         jobs=jobs,
         registry=registry,
     )
+    if journal is not None:
+        journal.record_end(
+            "finished", len(report.successes), len(report.failures)
+        )
     registry.gauge("sweep.refs_per_sec").set(report.refs_per_sec)
     logger.info(
         "sweep finished",
@@ -399,6 +742,7 @@ def run_sweep(
             cells=report.cells,
             simulated=report.simulations,
             cache_hits=report.cache_hits,
+            failures=len(report.failures),
             wall_s=round(wall_time, 3),
             refs_per_sec=round(report.refs_per_sec),
         ),

@@ -86,13 +86,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "bus util" in out
 
-    def test_nonpositive_scale_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["--scale", "-1", "table4"])
+    def test_nonpositive_scale_rejected(self, capsys):
+        assert main(["--scale", "-1", "table4"]) == 2
+        assert "--scale must be positive" in capsys.readouterr().err
 
-    def test_nonpositive_jobs_rejected(self):
-        with pytest.raises(SystemExit):
-            main(FAST + ["--jobs", "0", "table4"])
+    def test_nonpositive_jobs_rejected(self, capsys):
+        assert main(FAST + ["--jobs", "0", "table4"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
 
 
 #: Sweep runs shrink the grid further: two schemes, tiny traces.
@@ -120,10 +120,10 @@ class TestSweepCommand:
         cache = ["--cache-dir", str(tmp_path / "cache")]
         assert main(FAST + cache + SWEEP) == 0
         cold = capsys.readouterr()
-        assert "(6 simulated, 0 cached)" in cold.err
+        assert "(6 simulated, 0 cached, 0 failed)" in cold.err
         assert main(FAST + cache + SWEEP) == 0
         warm = capsys.readouterr()
-        assert "(0 simulated, 6 cached)" in warm.err
+        assert "(0 simulated, 6 cached, 0 failed)" in warm.err
         assert "6 hits" in warm.err
         assert warm.out == cold.out
 
@@ -181,9 +181,136 @@ class TestSweepCommand:
         assert serial == parallel
         assert "8x2" in serial and "inf" in serial
 
-    def test_nonpositive_block_size_exits_cleanly(self):
-        with pytest.raises(SystemExit, match="must be positive"):
-            main(FAST + ["sweep", "--block-sizes", "-4"])
+    def test_nonpositive_block_size_exits_cleanly(self, capsys):
+        assert main(FAST + ["sweep", "--block-sizes", "-4"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+
+class TestResilienceCLI:
+    """The sweep resilience flags: --retries/--cell-timeout/--keep-going/
+    --resume, the hidden --fault-plan, and the exit-code contract."""
+
+    GRID = ["sweep", "--schemes", "dir0b", "--traces", "POPS", "THOR"]
+
+    def write_plan(self, tmp_path, *faults):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        path = tmp_path / "plan.json"
+        FaultPlan(faults=tuple(FaultSpec(**f) for f in faults)).dump(path)
+        return str(path)
+
+    def test_keep_going_exits_3_with_failure_table(self, tmp_path, capsys):
+        plan = self.write_plan(
+            tmp_path,
+            dict(cell="dir0b:POPS:*", kind="raise", attempt=None,
+                 message="injected"),
+        )
+        code = main(
+            FAST + self.GRID + ["--keep-going", "--fault-plan", plan]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out  # cell table marks the failed row
+        assert "InjectedFault: injected" in captured.out  # failure table
+        assert "1/2 cells failed" in captured.err
+
+    def test_fail_fast_exits_1(self, tmp_path, capsys):
+        plan = self.write_plan(
+            tmp_path,
+            dict(cell="dir0b:POPS:*", kind="raise", attempt=None),
+        )
+        assert main(FAST + self.GRID + ["--fault-plan", plan]) == 1
+        assert "sweep cell dir0b:POPS" in capsys.readouterr().err
+
+    def test_retries_recover_a_transient_fault(self, tmp_path, capsys):
+        plan = self.write_plan(
+            tmp_path, dict(cell="dir0b:POPS:*", kind="raise", attempt=1)
+        )
+        code = main(
+            FAST + self.GRID + ["--retries", "1", "--fault-plan", plan]
+        )
+        assert code == 0
+        assert "FAILED" not in capsys.readouterr().out
+
+    def test_resume_finishes_only_failed_cells(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        plan = self.write_plan(
+            tmp_path,
+            dict(cell="dir0b:THOR:*", kind="raise", attempt=None),
+        )
+        assert main(
+            FAST + cache + self.GRID + ["--keep-going", "--fault-plan", plan]
+        ) == 3
+        capsys.readouterr()
+        # Resume without the fault: the good cell is a cache hit, the bad
+        # one re-simulates, and the paper tables appear this time.
+        assert main(FAST + cache + self.GRID + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "(1 simulated, 1 cached, 0 failed)" in captured.err
+        assert "Table 4" in captured.out
+
+    def test_journal_written_beside_the_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            FAST + ["--cache-dir", str(cache_dir)] + self.GRID
+        ) == 0
+        assert list(cache_dir.glob("*.journal.jsonl"))
+
+    def test_injected_interrupt_exits_130_with_partial_results(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        plan = self.write_plan(
+            tmp_path,
+            dict(cell="dir0b:POPS:*", kind="interrupt", attempt=None),
+        )
+        code = main(
+            FAST
+            + ["--cache-dir", str(cache_dir)]
+            + self.GRID
+            + ["--fault-plan", plan]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "--resume" in err
+        # The completed cell was flushed before the stop: resuming only
+        # simulates the remaining one.
+        capsys.readouterr()
+        assert main(
+            FAST + ["--cache-dir", str(cache_dir)] + self.GRID + ["--resume"]
+        ) == 0
+        assert "(1 simulated, 1 cached, 0 failed)" in capsys.readouterr().err
+
+    def test_resume_requires_cache_dir(self, capsys):
+        assert main(FAST + self.GRID + ["--resume"]) == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_bad_resilience_flags_exit_2(self, capsys):
+        assert main(FAST + self.GRID + ["--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+        assert main(FAST + self.GRID + ["--cell-timeout", "0"]) == 2
+        assert "--cell-timeout" in capsys.readouterr().err
+        assert main(FAST + self.GRID + ["--max-failures", "-1"]) == 2
+        assert "--max-failures" in capsys.readouterr().err
+
+    def test_unreadable_fault_plan_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{not json")
+        assert main(FAST + self.GRID + ["--fault-plan", str(bad)]) == 2
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_cache_faults_degrade_not_fail(self, tmp_path, capsys):
+        """put-error faults leave results usable and the exit code clean."""
+        plan = self.write_plan(
+            tmp_path,
+            dict(cell="*", kind="put-error", attempt=None),
+        )
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(FAST + cache + self.GRID + ["--fault-plan", plan]) == 0
+        capsys.readouterr()
+        # Nothing landed on disk, so the second run re-simulates cleanly.
+        assert main(FAST + cache + self.GRID) == 0
+        assert "(2 simulated, 0 cached, 0 failed)" in capsys.readouterr().err
 
 
 class TestFiniteCommand:
@@ -318,7 +445,7 @@ class TestObservability:
         ) == 0
         probed = capsys.readouterr()
         assert probed.out == plain  # probes never perturb results
-        assert "(6 simulated, 0 cached)" in probed.err  # cache was bypassed
+        assert "(6 simulated, 0 cached, 0 failed)" in probed.err  # cache bypassed
         events = json.loads(trace.read_text())["traceEvents"]
         assert sum(1 for e in events if e["ph"] == "X") > 0
 
@@ -389,11 +516,11 @@ class TestErrorPaths:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["export-trace", "NOPE", "out.trace"])
 
-    def test_modelcheck_nonpositive_config_rejected(self):
-        with pytest.raises(SystemExit, match="must be >= 1"):
-            main(["modelcheck", "dir0b", "--caches", "0"])
-        with pytest.raises(SystemExit, match="must be >= 1"):
-            main(["modelcheck", "dir0b", "--depth", "0"])
+    def test_modelcheck_nonpositive_config_rejected(self, capsys):
+        assert main(["modelcheck", "dir0b", "--caches", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+        assert main(["modelcheck", "dir0b", "--depth", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
 
     def test_modelcheck_violation_exits_nonzero(self, capsys, monkeypatch):
         import repro.core
