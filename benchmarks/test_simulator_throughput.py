@@ -16,6 +16,8 @@ import math
 import os
 import time
 
+import pytest
+
 from conftest import RESULTS_DIR
 
 from repro.core.pipeline import ReferencePipeline
@@ -52,6 +54,34 @@ def test_simulator_throughput_dragon(benchmark):
     result = benchmark(
         lambda: simulate(create_protocol("dragon", 4), trace)
     )
+    assert result.references == len(trace)
+
+
+def _counters_signature(result):
+    counters = result.counters
+    return (
+        dict(counters.events),
+        dict(counters.ops.ops),
+        counters.ops.transactions,
+        counters.ops.references,
+        counters.fanout.as_dict(),
+        counters.evictions,
+        counters.dirty_evictions,
+    )
+
+
+def test_simulator_throughput_dir0b_fast_backend(benchmark):
+    """Time the table-driven backend — after proving it changes nothing."""
+    pytest.importorskip("numpy")
+    from repro.trace.packed import PackedTrace
+
+    trace = _materialized_pops()
+    packed = PackedTrace.from_records(trace)
+    reference = simulate(create_protocol("dir0b", 4), trace)
+    result = benchmark(
+        lambda: simulate(create_protocol("dir0b", 4), packed, backend="fast")
+    )
+    assert _counters_signature(result) == _counters_signature(reference)
     assert result.references == len(trace)
 
 
@@ -133,6 +163,41 @@ def test_emit_bench_simulator_json(save_result):
             f"{name:<8} {timer.mean_seconds * 1e3:8.2f}ms/run  "
             f"{refs_per_sec:12,.0f} refs/sec"
         )
+
+    try:
+        from repro.trace.packed import PackedTrace
+    except ImportError:  # pragma: no cover - no-numpy environment
+        PackedTrace = None
+    if PackedTrace is not None:
+        # Backend comparison on the packed trace: counter equality is
+        # asserted before any timing claim is recorded.
+        packed = PackedTrace.from_records(trace)
+        runs = {
+            backend: simulate(
+                create_protocol("dir0b", 4), packed, backend=backend
+            )
+            for backend in ("reference", "fast")
+        }
+        assert _counters_signature(runs["fast"]) == _counters_signature(
+            runs["reference"]
+        )
+        rates = {}
+        for backend in ("reference", "fast"):
+            timer = registry.timer(f"simulate.packed.{backend}.seconds")
+            for _ in range(_REPEATS):
+                with timer.time():
+                    simulate(create_protocol("dir0b", 4), packed, backend=backend)
+            rates[backend] = len(packed) * timer.count / timer.total_seconds
+            registry.gauge(f"simulate.packed.{backend}.refs_per_sec").set(
+                rates[backend]
+            )
+            lines.append(
+                f"packed/{backend:<9} {timer.mean_seconds * 1e3:8.2f}ms/run  "
+                f"{rates[backend]:12,.0f} refs/sec"
+            )
+        speedup = rates["fast"] / rates["reference"]
+        registry.gauge("simulate.packed.fast.speedup").set(speedup)
+        lines.append(f"fast backend speedup: {speedup:.1f}x (bit-identical)")
 
     generate = registry.timer("trace.generate.seconds")
     with generate.time():

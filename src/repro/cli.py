@@ -155,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve repeated simulations from an on-disk result cache",
     )
     parser.add_argument(
+        "--backend",
+        choices=["reference", "fast"],
+        default="reference",
+        help=(
+            "simulation backend: the per-reference loop, or the table-driven "
+            "fast backend (bit-identical counters; needs numpy)"
+        ),
+    )
+    parser.add_argument(
         "--log-level",
         choices=["debug", "info", "warning", "error"],
         default=None,
@@ -420,10 +429,29 @@ def _jobs(args: argparse.Namespace) -> int:
     return args.jobs
 
 
+def _backend(args: argparse.Namespace) -> str:
+    """The validated ``--backend`` choice.
+
+    The fast backend's packed-trace kernel needs numpy; requesting it in an
+    environment without the optional extra is a usage error rather than a
+    silent slow path.
+    """
+    backend = getattr(args, "backend", "reference")
+    if backend == "fast":
+        from .core.fastsim import HAS_NUMPY
+
+        if not HAS_NUMPY:
+            raise UsageError(
+                "--backend fast requires numpy; install the optional extra "
+                "(pip install 'repro[fast]') or use --backend reference"
+            )
+    return backend
+
+
 def _comparison(args: argparse.Namespace, schemes=PAPER_CORE_SCHEMES):
     """Run the standard grid through the sweep runner (jobs/cache honoured)."""
     try:
-        specs = sweep_grid(tuple(schemes), scale=_scale(args))
+        specs = sweep_grid(tuple(schemes), scale=_scale(args), backend=_backend(args))
     except ValueError as error:
         raise UsageError(f"{args.command}: {error}") from error
     return _run_grid(args, specs).comparison()
@@ -582,6 +610,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             block_sizes=tuple(args.block_sizes),
             geometries=tuple(args.geometries),
             sharing_models=tuple(SharingModel(value) for value in args.sharing),
+            backend=_backend(args),
         )
     except ValueError as error:
         raise UsageError(f"sweep: {error}") from error
@@ -618,6 +647,7 @@ def _cmd_finite(args: argparse.Namespace) -> None:
             scale=_scale(args),
             n_caches=args.n_caches,
             geometries=tuple(args.geometries),
+            backend=_backend(args),
         )
     except ValueError as error:
         raise UsageError(f"finite: {error}") from error
@@ -643,6 +673,7 @@ def _cmd_profile(args: argparse.Namespace) -> None:
                 scale=_scale(args),
                 n_caches=args.n_caches,
                 geometry=args.geometry,
+                backend=_backend(args),
             )
             report = profile_spec(spec, registry=registry)
             if not first:

@@ -17,15 +17,25 @@ from .pipeline import (
     ReferencePipeline,
     SetAssociativeLRU,
 )
+from .fastsim import FastPipeline
 from .timing import TimingResult, simulate_timed
 from .metrics import (
     MissRateDecomposition,
     decompose_miss_rate,
     effective_processors,
 )
-from .simulator import SimulationResult, simulate, simulate_chunks
+from .simulator import (
+    BACKENDS,
+    SimulationResult,
+    make_pipeline,
+    simulate,
+    simulate_chunks,
+)
 
 __all__ = [
+    "BACKENDS",
+    "FastPipeline",
+    "make_pipeline",
     "ComparisonResult",
     "run_comparison",
     "run_standard_comparison",

@@ -1,0 +1,589 @@
+"""The fast backend: table-driven simulation over packed trace columns.
+
+:class:`FastPipeline` is a drop-in alternative to
+:class:`~repro.core.pipeline.ReferencePipeline` that produces **bit-identical**
+:class:`~repro.core.counters.SimulationCounters` (the differential suite in
+``tests/test_backend_differential.py`` proves this for every registered
+protocol).  Instead of calling the protocol's ``_read``/``_write`` per
+reference, it asks the protocol to :meth:`~repro.protocols.base.CoherenceProtocol.compile_table`
+itself into a 512-entry dispatch table (see :mod:`repro.protocols.table`) and
+then drives a tight integer kernel:
+
+* per-block state is one packed integer — holder mask, dirty owner, and the
+  optional aux annotation (Write-Once reserved / Illinois exclusive /
+  Yen & Fu single bit);
+* each reference encodes its condition code from that integer, looks up the
+  matching :class:`~repro.protocols.table.Row`, and tallies *hits per row*
+  (plus the remote-copy count ``F`` where a row's costs depend on it);
+* at batch boundaries the tally is *flushed* into real
+  ``SimulationCounters`` — events, op multisets, bus transactions and the
+  Figure 1 fan-out histogram are all linear in the per-row hit counts, so
+  the flush reconstructs exactly what the reference loop would have counted.
+
+:class:`~repro.trace.packed.PackedTrace` inputs are decoded column-wise with
+NumPy (unit resolution via one ``np.unique`` per batch, block extraction as a
+vectorised divide) — no :class:`~repro.trace.record.TraceRecord` objects are
+ever materialised.  NumPy is optional: plain record iterables run through the
+same kernel via a pure-Python accumulation path.
+
+**Fidelity fallback.**  Some configurations need the reference loop's
+per-reference granularity: protocols whose state does not fit the table
+vocabulary (``compile_table()`` is ``None``), oracle value checking, periodic
+invariant checks, custom geometry stages, and probes that declare
+``granularity = "reference"``.  For those the pipeline transparently wraps a
+:class:`ReferencePipeline` and feeds it — still decoding packed columns
+without building records — so ``backend="fast"`` is always safe to request.
+Batch-granularity probes (``granularity = "batch"``) keep the table kernel
+and receive :meth:`~repro.obs.probe.ReferenceProbe.on_batch` at internal
+batch boundaries.
+
+Two small infidelities are documented rather than mirrored: in table mode
+the protocol object itself is never mutated (all state lives in the kernel),
+so per-protocol *diagnostic* attributes (DiriB's ``broadcasts``, Yen & Fu's
+``saved_directory_checks``) stay zero; and a trace with too many sharing
+units raises the same ``ValueError`` as the reference pipeline but at batch
+decode time, i.e. potentially a few thousand references earlier.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+try:  # NumPy is an optional extra (pip install repro[fast])
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+if _np is not None:
+    from ..trace.packed import PackedTrace
+else:  # pragma: no cover - environment without numpy
+    PackedTrace = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:
+    from ..obs.probe import ReferenceProbe
+
+from ..interconnect.bus import BusOp
+from ..memory.cache import CacheGeometry
+from ..protocols.base import CoherenceProtocol
+from ..protocols.events import Event
+from ..protocols.table import TableError
+from ..trace.record import DEFAULT_BLOCK_SIZE, AccessType, TraceRecord
+from ..trace.stream import SharingModel
+from .counters import SimulationCounters
+from .pipeline import (
+    GeometryStage,
+    InfinitePassthrough,
+    ReferencePipeline,
+    SimulationResult,
+)
+
+__all__ = ["FastPipeline", "HAS_NUMPY", "BATCH_SIZE"]
+
+#: Whether the vectorised packed-trace decode path is available.
+HAS_NUMPY = _np is not None
+
+#: References per internal batch (tally flush / probe notification cadence).
+BATCH_SIZE = 1 << 18
+
+_ACCESS_BY_CODE = (AccessType.INSTR, AccessType.READ, AccessType.WRITE)
+
+
+class FastPipeline:
+    """Table-driven pipeline, bit-identical to :class:`ReferencePipeline`.
+
+    Accepts the same constructor arguments; see the module docstring for
+    when it runs the vectorised table kernel versus wrapping the reference
+    loop.  State persists across :meth:`feed` calls, so the chunking
+    contract (merge of per-chunk counters == single-run counters) holds
+    exactly as it does for the reference pipeline.
+    """
+
+    def __init__(
+        self,
+        protocol: CoherenceProtocol,
+        *,
+        geometry: Optional[CacheGeometry] = None,
+        stage: Optional[GeometryStage] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        sharing_model: SharingModel = SharingModel.PROCESS,
+        check_invariants_every: int = 0,
+        check_values: bool = False,
+        probe: Optional["ReferenceProbe"] = None,
+    ) -> None:
+        table = protocol.compile_table()
+        probe_granularity = (
+            getattr(probe, "granularity", "reference") if probe is not None else None
+        )
+        custom_stage = stage is not None and not isinstance(stage, InfinitePassthrough)
+        table_mode = (
+            table is not None
+            and not check_values
+            and check_invariants_every == 0
+            and not custom_stage
+            and probe_granularity in (None, "batch")
+        )
+        # An explicit InfinitePassthrough overrides geometry, exactly as the
+        # reference pipeline's constructor does.
+        self._geometry = None if isinstance(stage, InfinitePassthrough) else geometry
+        self._probe = probe
+        self._processed = 0
+        self._by_process = sharing_model is SharingModel.PROCESS
+        self.protocol = protocol
+        self.block_size = block_size
+        self.sharing_model = sharing_model
+        if table_mode:
+            # The inner reference pipeline only owns the sharing-unit
+            # registry (and packages results); it never steps a reference.
+            self._ref = ReferencePipeline(
+                protocol, block_size=block_size, sharing_model=sharing_model
+            )
+            self._table = table
+            self._init_kernel()
+        else:
+            self._ref = ReferencePipeline(
+                protocol,
+                geometry=geometry,
+                stage=stage,
+                block_size=block_size,
+                sharing_model=sharing_model,
+                check_invariants_every=check_invariants_every,
+                check_values=check_values,
+                probe=probe,
+            )
+            self._table = None
+        self.oracle = self._ref.oracle
+
+    @property
+    def uses_table(self) -> bool:
+        """Whether this run executes the table kernel (vs the reference loop)."""
+        return self._table is not None
+
+    def _init_kernel(self) -> None:
+        n_caches = self.protocol.n_caches
+        self._n_caches = n_caches
+        self._full = (1 << n_caches) - 1
+        self._oshift = n_caches
+        obits = (n_caches + 1).bit_length()
+        self._omask = (1 << obits) - 1
+        self._ashift = n_caches + obits
+        self._threshold = self._table.threshold
+        #: block -> packed state int; presence in the dict == block seen
+        self._states: dict = {}
+        rows = self._table.rows
+        self._rows = rows
+        entries = []
+        for index in self._table.dispatch:
+            if index is None:
+                entries.append(None)
+                continue
+            row = rows[index]
+            fan_dyn = row.fanout and row.fclass > 0
+            entries.append((index, row.actions, row.aux_action, row.needs_f, fan_dyn))
+        self._entries = entries
+        # Per-row tallies, flushed into SimulationCounters at batch boundaries.
+        self._hits = [0] * len(rows)
+        self._sumf = [0] * len(rows)
+        self._fan: dict = {}
+        self._instr = 0
+        self._nrefs = 0
+        self._ev = 0
+        self._dev = 0
+        geometry = self._geometry
+        if geometry is not None:
+            # Finite-geometry mirror of SetAssociativeLRU: per-unit, per-set
+            # insertion-ordered dicts (LRU order = insertion order).
+            self._sets = [
+                [dict() for _ in range(geometry.n_sets)] for _ in range(n_caches)
+            ]
+            self._set_mask = geometry.n_sets - 1
+            self._assoc = geometry.associativity
+        else:
+            self._sets = None
+
+    def attach_probe(self, probe: Optional["ReferenceProbe"]) -> None:
+        """Attach (or detach) a probe.
+
+        In table mode only batch-granularity probes can be attached after
+        construction — a per-reference probe would need the reference loop,
+        so construct the pipeline with ``probe=...`` instead.
+        """
+        if (
+            self._table is not None
+            and probe is not None
+            and getattr(probe, "granularity", "reference") != "batch"
+        ):
+            raise RuntimeError(
+                "cannot attach a reference-granularity probe to a running "
+                "table-mode pipeline; pass probe= at construction to get the "
+                "reference-fidelity path"
+            )
+        self._probe = probe
+        if self._table is None:
+            self._ref.attach_probe(probe)
+
+    # -- the kernel ------------------------------------------------------------
+
+    def _unmapped(self, code: int) -> TableError:
+        dirty = ("none", "local", "remote")[(code >> 3) & 3]
+        aux = ("none", "self", "other")[(code >> 7) & 3]
+        fclass = (code >> 5) & 3
+        return TableError(
+            f"protocol {self.protocol.name!r}: no transition rule for "
+            f"condition write={bool(code & 1)} first={bool(code & 2)} "
+            f"held={bool(code & 4)} dirty={dirty} fclass={fclass} aux={aux} "
+            f"(code {code})"
+        )
+
+    def _run_data(self, units: list, writes: list, blocks: list) -> None:
+        """Feed one batch of *data* references through the table kernel.
+
+        ``units``/``writes``/``blocks`` are parallel plain-Python lists;
+        instruction fetches never reach here (they are tallied separately
+        and generate no coherence traffic).
+        """
+        states = self._states
+        entries = self._entries
+        threshold = self._threshold
+        no_threshold = threshold is None
+        oshift = self._oshift
+        ashift = self._ashift
+        omask = self._omask
+        full = self._full
+        hits = self._hits
+        sumf = self._sumf
+        fan = self._fan
+        sets = self._sets
+        finite = sets is not None
+        if finite:
+            set_mask = self._set_mask
+            assoc = self._assoc
+            n_caches = self._n_caches
+            ev = 0
+            dev = 0
+        for i in range(len(units)):
+            unit = units[i]
+            block = blocks[i]
+            bit = 1 << unit
+            if finite:
+                # Mirror of SetAssociativeLRU.before_access: make the block
+                # resident, displacing the LRU victim if the set is full.
+                lru = sets[unit][block & set_mask]
+                if block in lru:
+                    del lru[block]  # re-insert == move to MRU position
+                    lru[block] = True
+                else:
+                    if len(lru) >= assoc:
+                        victim = next(iter(lru))
+                        del lru[victim]
+                        ev += 1
+                        vstate = states.get(victim)
+                        if vstate is not None:
+                            # Mirror of protocol.evict(): drop any aux
+                            # annotation pointing at this cache, then remove
+                            # the holder bit, writing back a dirty victim.
+                            vaux = vstate >> ashift
+                            aux_cleared = vaux == bit
+                            if aux_cleared:
+                                vaux = 0
+                            vmask = vstate & full
+                            if vmask & bit:
+                                vmask &= ~bit
+                                vowner = ((vstate >> oshift) & omask) - 1
+                                if vowner == unit:
+                                    vowner = -1
+                                    dev += 1
+                                states[victim] = (
+                                    vmask | (vowner + 1) << oshift | vaux << ashift
+                                )
+                            elif aux_cleared:
+                                states[victim] = (
+                                    vmask
+                                    | (vstate & (omask << oshift))
+                                    | vaux << ashift
+                                )
+                    lru[block] = True
+            state = states.get(block)
+            if state is None:
+                code = 2 | writes[i]  # globally first reference
+                mask = 0
+                owner = -1
+                aux = 0
+                F = 0
+            else:
+                mask = state & full
+                owner = ((state >> oshift) & omask) - 1
+                aux = state >> ashift
+                F = (mask & ~bit).bit_count()
+                code = writes[i]
+                if mask & bit:
+                    code |= 4
+                if owner >= 0:
+                    code |= 8 if owner == unit else 16
+                if F:
+                    code |= 32 if no_threshold or F <= threshold else 64
+                if aux:
+                    code |= 128 if aux == bit else 256
+            entry = entries[code]
+            if entry is None:
+                raise self._unmapped(code)
+            ridx, actions, aux_act, needs_f, fan_dyn = entry
+            hits[ridx] += 1
+            if needs_f:
+                sumf[ridx] += F
+                if fan_dyn:
+                    fan[F] = fan.get(F, 0) + 1
+            if actions or aux_act or state is None:
+                if actions & 1:  # ACT_CLEAR_DIRTY
+                    owner = -1
+                if actions & 2:  # ACT_MASK_ADD
+                    mask |= bit
+                elif actions & 4:  # ACT_MASK_ONLY
+                    mask = bit
+                    if owner != unit:
+                        owner = -1
+                    if finite and F:
+                        # Mirror of after_access: every other cache lost its
+                        # holder bit just now, so drop its resident line.
+                        set_index = block & set_mask
+                        for other in range(n_caches):
+                            if other != unit:
+                                sets[other][set_index].pop(block, None)
+                if actions & 8:  # ACT_SET_DIRTY
+                    owner = unit
+                if aux_act == 1:  # AUX_CLEAR
+                    aux = 0
+                elif aux_act == 2:  # AUX_SELF
+                    aux = bit
+                states[block] = mask | (owner + 1) << oshift | aux << ashift
+        if finite:
+            self._ev += ev
+            self._dev += dev
+
+    def _flush(self, counters: SimulationCounters) -> None:
+        """Fold the per-row tallies into ``counters`` and reset them.
+
+        Everything the reference loop counts per reference is linear in the
+        per-row hit counts (and in the accumulated ``F`` totals for rows
+        with per-remote-copy costs), so this reconstruction is exact.
+        """
+        rows = self._rows
+        hits = self._hits
+        sumf = self._sumf
+        events = counters.events
+        op_counts = counters.ops
+        ops = op_counts.ops
+        op_counts.references += self._nrefs
+        if self._instr:
+            events[Event.INSTR] = events.get(Event.INSTR, 0) + self._instr
+        transactions = 0
+        fan0 = 0
+        for ridx, count in enumerate(hits):
+            if not count:
+                continue
+            row = rows[ridx]
+            event = row.event
+            events[event] = events.get(event, 0) + count
+            for op, per_hit in row.base_ops:
+                if per_hit:
+                    ops[op] = ops.get(op, 0) + per_hit * count
+            f_total = sumf[ridx]
+            if f_total:
+                for op, coeff in row.linear_ops:
+                    if coeff:
+                        ops[op] = ops.get(op, 0) + coeff * f_total
+            if row.used_bus:
+                transactions += count
+            if row.fanout and row.fclass == 0:
+                fan0 += count
+        op_counts.transactions += transactions
+        fanout = counters.fanout
+        for f, count in self._fan.items():
+            fanout.add(f, count)
+        if fan0:
+            fanout.add(0, fan0)
+        if self._ev:
+            counters.evictions += self._ev
+        if self._dev:
+            counters.dirty_evictions += self._dev
+            ops[BusOp.WRITE_BACK] = ops.get(BusOp.WRITE_BACK, 0) + self._dev
+        self._hits = [0] * len(rows)
+        self._sumf = [0] * len(rows)
+        self._fan = {}
+        self._instr = 0
+        self._nrefs = 0
+        self._ev = 0
+        self._dev = 0
+
+    # -- feeding ---------------------------------------------------------------
+
+    def _resolve_batch_units(self, keys):
+        """Vectorised unit resolution preserving first-appearance order.
+
+        Shares the inner pipeline's registry (and its overflow check), so a
+        fast run assigns exactly the unit indices a reference run would.
+        """
+        uniq, first_pos, inverse = _np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        resolve = self._ref.resolve_key
+        lut = _np.empty(len(uniq), dtype=_np.int64)
+        for uidx in _np.argsort(first_pos, kind="stable").tolist():
+            lut[uidx] = resolve(int(uniq[uidx]))
+        return lut[inverse]
+
+    def _feed_packed(self, trace, counters: SimulationCounters) -> None:
+        block_size = self.block_size
+        key_col = trace.pid if self._by_process else trace.cpu
+        access_col = trace.access
+        address_col = trace.address
+        probe = self._probe
+        n = len(trace)
+        for start in range(0, n, BATCH_SIZE):
+            stop = min(start + BATCH_SIZE, n)
+            units = self._resolve_batch_units(key_col[start:stop])
+            access = access_col[start:stop]
+            data = access != 0
+            n_batch = stop - start
+            n_data = int(data.sum())
+            self._instr += n_batch - n_data
+            self._nrefs += n_batch
+            if n_data:
+                if n_data != n_batch:
+                    units = units[data]
+                    access = access[data]
+                    blocks = address_col[start:stop][data] // block_size
+                else:
+                    blocks = address_col[start:stop] // block_size
+                self._run_data(
+                    units.tolist(), (access == 2).tolist(), blocks.tolist()
+                )
+            self._processed += n_batch
+            if probe is not None:
+                self._flush(counters)
+                probe.on_batch(self._processed, counters)
+
+    def _feed_records(
+        self, trace: Iterable[TraceRecord], counters: SimulationCounters
+    ) -> None:
+        """Pure-Python path: accumulate records into kernel batches."""
+        resolve = self._ref.resolve_key
+        by_process = self._by_process
+        block_size = self.block_size
+        probe = self._probe
+        units: list = []
+        writes: list = []
+        blocks: list = []
+        pending = 0
+        for record in trace:
+            unit = resolve(record.pid if by_process else record.cpu)
+            pending += 1
+            access = record.access
+            if access is AccessType.INSTR:
+                self._instr += 1
+            else:
+                units.append(unit)
+                writes.append(1 if access is AccessType.WRITE else 0)
+                blocks.append(record.address // block_size)
+            if pending == BATCH_SIZE:
+                self._run_data(units, writes, blocks)
+                self._nrefs += pending
+                self._processed += pending
+                units, writes, blocks = [], [], []
+                pending = 0
+                if probe is not None:
+                    self._flush(counters)
+                    probe.on_batch(self._processed, counters)
+        if pending:
+            self._run_data(units, writes, blocks)
+            self._nrefs += pending
+            self._processed += pending
+            if probe is not None:
+                self._flush(counters)
+                probe.on_batch(self._processed, counters)
+
+    def _feed_packed_reference(self, trace, counters: SimulationCounters) -> None:
+        """Reference-fidelity path for packed input: column decode, then step.
+
+        Keeps per-reference semantics (probes, oracle, invariant checks,
+        custom stages) while still skipping TraceRecord construction.
+        """
+        ref = self._ref
+        step = ref.step
+        block_size = self.block_size
+        key_col = trace.pid if self._by_process else trace.cpu
+        kinds = _ACCESS_BY_CODE
+        n = len(trace)
+        for start in range(0, n, BATCH_SIZE):
+            stop = min(start + BATCH_SIZE, n)
+            units = self._resolve_batch_units(key_col[start:stop]).tolist()
+            accesses = trace.access[start:stop].tolist()
+            blocks = (trace.address[start:stop] // block_size).tolist()
+            for i in range(stop - start):
+                step(units[i], kinds[accesses[i]], blocks[i], counters)
+
+    def feed(
+        self, trace: Iterable[TraceRecord], counters: SimulationCounters
+    ) -> None:
+        """Feed a trace (or one chunk of it) through the pipeline.
+
+        State persists across calls; chunk boundaries only affect how counts
+        are accumulated, exactly as with the reference pipeline.
+        """
+        if self._table is None:
+            if PackedTrace is not None and isinstance(trace, PackedTrace):
+                self._feed_packed_reference(trace, counters)
+            else:
+                self._ref.feed(trace, counters)
+            probe = self._probe
+            if probe is not None:
+                probe.on_batch(self._ref._processed, counters)
+            return
+        if PackedTrace is not None and isinstance(trace, PackedTrace):
+            self._feed_packed(trace, counters)
+        else:
+            self._feed_records(trace, counters)
+        self._flush(counters)
+
+    # -- run wrappers ----------------------------------------------------------
+
+    def run(
+        self, trace: Iterable[TraceRecord], trace_name: str = "trace"
+    ) -> SimulationResult:
+        """Feed the whole trace and package the tallied result."""
+        counters = SimulationCounters()
+        self.feed(trace, counters)
+        return self.result(trace_name, counters)
+
+    def run_chunks(
+        self,
+        chunks: Iterable[Iterable[TraceRecord]],
+        trace_name: str = "trace",
+        chunk_done: Optional[Callable[[SimulationCounters], None]] = None,
+    ) -> SimulationResult:
+        """Feed a trace supplied as consecutive chunks, merging exactly."""
+        merged = SimulationCounters()
+        for chunk in chunks:
+            counters = SimulationCounters()
+            self.feed(chunk, counters)
+            merged.merge(counters)
+            if chunk_done is not None:
+                chunk_done(counters)
+        return self.result(trace_name, merged)
+
+    def result(
+        self, trace_name: str, counters: SimulationCounters
+    ) -> SimulationResult:
+        """Package ``counters`` as this pipeline's :class:`SimulationResult`."""
+        if self._table is None:
+            return self._ref.result(trace_name, counters)
+        geometry = self._geometry
+        return SimulationResult(
+            protocol_name=self.protocol.name,
+            protocol_label=self.protocol.label,
+            trace_name=trace_name,
+            counters=counters,
+            n_caches=self.protocol.n_caches,
+            block_size=self.block_size,
+            sharing_model=self.sharing_model,
+            geometry=geometry.spec if geometry is not None else None,
+        )

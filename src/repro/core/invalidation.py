@@ -27,6 +27,13 @@ class InvalidationHistogram:
             raise ValueError(f"fanout must be non-negative, got {fanout}")
         self._counts[fanout] = self._counts.get(fanout, 0) + 1
 
+    def add(self, fanout: int, count: int) -> None:
+        """Record ``count`` events at once (bulk flush from the fast backend)."""
+        if fanout < 0:
+            raise ValueError(f"fanout must be non-negative, got {fanout}")
+        if count:
+            self._counts[fanout] = self._counts.get(fanout, 0) + count
+
     def merge(self, other: "InvalidationHistogram") -> "InvalidationHistogram":
         for fanout, count in other._counts.items():
             self._counts[fanout] = self._counts.get(fanout, 0) + count

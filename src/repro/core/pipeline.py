@@ -269,8 +269,18 @@ class ReferencePipeline:
         The registry is pipeline-owned, so a chunked run assigns the same
         indices as a single-pass run.
         """
+        return self.resolve_key(
+            record.pid if self._by_process else record.cpu
+        )
+
+    def resolve_key(self, key: int) -> int:
+        """Dense cache index for a raw sharing-unit key (a pid or cpu id).
+
+        Split out from :meth:`resolve_unit` so alternate feeders (the fast
+        backend's column decoder) share the registry — and its overflow
+        check — without materialising :class:`TraceRecord` objects.
+        """
         units = self._units
-        key = record.pid if self._by_process else record.cpu
         unit = units.get(key)
         if unit is None:
             unit = len(units)

@@ -29,7 +29,41 @@ from .pipeline import ReferencePipeline, SimulationResult
 if TYPE_CHECKING:
     from ..obs.probe import ReferenceProbe
 
-__all__ = ["SimulationResult", "simulate", "simulate_chunks"]
+__all__ = [
+    "BACKENDS",
+    "SimulationResult",
+    "make_pipeline",
+    "simulate",
+    "simulate_chunks",
+]
+
+#: Selectable simulation backends (the ``--backend`` knob).
+BACKENDS = ("reference", "fast")
+
+
+def make_pipeline(
+    backend: str,
+    protocol: CoherenceProtocol,
+    **kwargs,
+):
+    """Construct the pipeline implementing ``backend``.
+
+    ``"reference"`` is the canonical per-reference loop
+    (:class:`~repro.core.pipeline.ReferencePipeline`); ``"fast"`` is the
+    table-driven backend (:class:`~repro.core.fastsim.FastPipeline`), which
+    produces bit-identical counters and falls back to reference fidelity for
+    configurations the table kernel cannot express.  Both accept the same
+    keyword arguments.
+    """
+    if backend == "reference":
+        return ReferencePipeline(protocol, **kwargs)
+    if backend == "fast":
+        from .fastsim import FastPipeline  # deferred: optional-numpy probing
+
+        return FastPipeline(protocol, **kwargs)
+    raise ValueError(
+        f"unknown simulation backend {backend!r}; expected one of {BACKENDS}"
+    )
 
 
 def simulate(
@@ -41,6 +75,7 @@ def simulate(
     check_invariants_every: int = 0,
     geometry: Optional[CacheGeometry] = None,
     probe: Optional["ReferenceProbe"] = None,
+    backend: str = "reference",
 ) -> SimulationResult:
     """Run ``protocol`` over ``trace`` and return the tallied result.
 
@@ -59,12 +94,16 @@ def simulate(
             paper's infinite caches.
         probe: per-reference observer streaming protocol events to a sink
             (see :mod:`repro.obs.probe`); never affects the counted result.
+        backend: ``"reference"`` (default) or ``"fast"`` — the table-driven
+            backend, bit-identical on counters (see
+            :mod:`repro.core.fastsim` and docs/performance.md).
 
     Raises:
         ValueError: if the trace contains more sharing units than the
-            protocol has caches.
+            protocol has caches, or the backend name is unknown.
     """
-    pipeline = ReferencePipeline(
+    pipeline = make_pipeline(
+        backend,
         protocol,
         geometry=geometry,
         block_size=block_size,
@@ -85,6 +124,7 @@ def simulate_chunks(
     chunk_done: Optional[Callable[[SimulationCounters], None]] = None,
     geometry: Optional[CacheGeometry] = None,
     probe: Optional["ReferenceProbe"] = None,
+    backend: str = "reference",
 ) -> SimulationResult:
     """Simulate a trace supplied as consecutive chunks, merging exactly.
 
@@ -96,9 +136,12 @@ def simulate_chunks(
     the result is bit-identical to one :func:`simulate` over the
     concatenated trace, for infinite and finite geometries alike.
     ``chunk_done``, when given, receives each chunk's own counters as it
-    completes (checkpoint and progress hook for the runner).
+    completes (checkpoint and progress hook for the runner).  ``backend``
+    selects the engine, exactly as in :func:`simulate` — the sharding
+    invariant holds for both.
     """
-    pipeline = ReferencePipeline(
+    pipeline = make_pipeline(
+        backend,
         protocol,
         geometry=geometry,
         block_size=block_size,

@@ -32,7 +32,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import ClassVar, Optional, Set, Tuple
+from typing import TYPE_CHECKING, ClassVar, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .table import TransitionTable
 
 from ..interconnect.bus import BusOp
 from ..memory.sharing import NO_OWNER, SharingTable, bit_count
@@ -140,6 +143,20 @@ class CoherenceProtocol(abc.ABC):
     def seen(self, block: int) -> bool:
         """Whether the trace has referenced ``block`` before."""
         return block in self._seen
+
+    def compile_table(self) -> Optional["TransitionTable"]:
+        """Compile this protocol's transition function into a lookup table.
+
+        The fast backend (:mod:`repro.core.fastsim`) uses the table to
+        process references without calling :meth:`access`.  Protocols whose
+        per-block state fits the table vocabulary (sharing mask + dirty
+        owner + at most one cache-valued annotation) override this; the
+        default ``None`` routes the fast backend through the reference
+        pipeline instead.  Subclasses that *change* transition behaviour
+        relative to a compilable parent must override back to ``None``
+        unless they supply their own table.
+        """
+        return None
 
     # -- helpers for subclasses ------------------------------------------------
 

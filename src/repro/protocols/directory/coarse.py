@@ -94,6 +94,11 @@ class DirCoarse(DirnNB):
     label = "DirCoarse"
     kind = "directory"
 
+    def compile_table(self):
+        """Not table-compilable: invalidation costs depend on the digit-coded
+        sharer superset, which the table state cannot carry."""
+        return None
+
     def __init__(self, n_caches: int) -> None:
         super().__init__(n_caches)
         self.width = max(1, math.ceil(math.log2(n_caches)))

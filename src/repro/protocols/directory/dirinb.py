@@ -42,6 +42,11 @@ class DiriNB(DirnNB):
     label = "DiriNB"
     kind = "directory"
 
+    def compile_table(self):
+        """Not table-compilable: displacement depends on per-block admission
+        order (and possibly an RNG), which the table state cannot carry."""
+        return None
+
     def __init__(
         self,
         n_caches: int,

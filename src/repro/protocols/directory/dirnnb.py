@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ...interconnect.bus import BusOp
 from ..base import OpList
+from ..table import InvalidationSpec
 from .dir0b import Dir0B
 
 __all__ = ["DirnNB"]
@@ -32,6 +33,10 @@ class DirnNB(Dir0B):
     def _invalidation_ops(self, fanout: int) -> OpList:
         """One directed invalidation per remote copy."""
         return ((BusOp.INVALIDATE, fanout),)
+
+    def _invalidation_spec(self) -> InvalidationSpec:
+        """Directed messages cover every fan-out (no broadcast regime)."""
+        return InvalidationSpec(threshold=None, directed=((BusOp.INVALIDATE, 1),))
 
     @classmethod
     def directory_bits_per_block(cls, n_caches: int) -> int:

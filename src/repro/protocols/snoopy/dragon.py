@@ -19,12 +19,76 @@ the yardstick the directory schemes must approach.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...interconnect.bus import BusOp
 from ...memory.sharing import NO_OWNER
 from ..base import AccessOutcome, CoherenceProtocol
 from ..events import Event
+from ..table import Rule, TransitionTable, compile_rules
 
 __all__ = ["Dragon"]
+
+_DRAGON_RULES = (
+    Rule(write=False, event=Event.READ_HIT, held=True),
+    Rule(write=False, event=Event.RM_FIRST_REF, first=True, mask="add"),
+    Rule(
+        # Owner supplies the block and keeps ownership (shared-dirty).
+        write=False,
+        event=Event.RM_BLK_DIRTY,
+        dirty="remote",
+        ops=((BusOp.CACHE_SUPPLY, 1),),
+        mask="add",
+    ),
+    Rule(
+        write=False,
+        event=Event.RM_BLK_CLEAN,
+        fclass=(1, 2),
+        ops=((BusOp.MEM_ACCESS, 1),),
+        mask="add",
+    ),
+    Rule(
+        write=False,
+        event=Event.RM_UNCACHED,
+        ops=((BusOp.MEM_ACCESS, 1),),
+        mask="add",
+    ),
+    Rule(
+        write=True,
+        event=Event.WH_DISTRIB,
+        held=True,
+        fclass=(1, 2),
+        ops=((BusOp.WRITE_UPDATE, 1),),
+        set_dirty=True,
+    ),
+    Rule(write=True, event=Event.WH_LOCAL, held=True, set_dirty=True),
+    Rule(
+        write=True, event=Event.WM_FIRST_REF, first=True, mask="add", set_dirty=True
+    ),
+    Rule(
+        write=True,
+        event=Event.WM_BLK_DIRTY,
+        dirty="remote",
+        ops=((BusOp.CACHE_SUPPLY, 1), (BusOp.WRITE_UPDATE, 1)),
+        mask="add",
+        set_dirty=True,
+    ),
+    Rule(
+        write=True,
+        event=Event.WM_BLK_CLEAN,
+        fclass=(1, 2),
+        ops=((BusOp.MEM_ACCESS, 1), (BusOp.WRITE_UPDATE, 1)),
+        mask="add",
+        set_dirty=True,
+    ),
+    Rule(
+        write=True,
+        event=Event.WM_UNCACHED,
+        ops=((BusOp.MEM_ACCESS, 1),),
+        mask="add",
+        set_dirty=True,
+    ),
+)
 
 
 class Dragon(CoherenceProtocol):
@@ -91,3 +155,6 @@ class Dragon(CoherenceProtocol):
         sharing.add_holder(block, cache)
         sharing.set_dirty(block, cache)
         return AccessOutcome(event=event, ops=tuple(ops))
+
+    def compile_table(self) -> Optional[TransitionTable]:
+        return compile_rules(self.name, _DRAGON_RULES)

@@ -18,14 +18,98 @@ write-through) is a per-block annotation here.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ...interconnect.bus import BusOp
 from ...memory.sharing import NO_OWNER, bit_count
 from ..base import AccessOutcome, CoherenceProtocol, OpList
 from ..events import Event
+from ..table import Rule, TransitionTable, compile_rules
 
 __all__ = ["WriteOnce"]
+
+#: Write-Once with the reserved state as the table's aux annotation.
+_WRITE_ONCE_RULES = (
+    Rule(write=False, event=Event.READ_HIT, held=True),
+    Rule(write=False, event=Event.RM_FIRST_REF, first=True, mask="add"),
+    Rule(
+        write=False,
+        event=Event.RM_BLK_DIRTY,
+        dirty="remote",
+        ops=((BusOp.FLUSH_REQUEST, 1), (BusOp.WRITE_BACK, 1)),
+        clear_dirty=True,
+        mask="add",
+        aux_action="clear",
+    ),
+    Rule(
+        write=False,
+        event=Event.RM_BLK_CLEAN,
+        fclass=(1, 2),
+        ops=((BusOp.MEM_ACCESS, 1),),
+        mask="add",
+        aux_action="clear",
+    ),
+    Rule(
+        write=False,
+        event=Event.RM_UNCACHED,
+        ops=((BusOp.MEM_ACCESS, 1),),
+        mask="add",
+        aux_action="clear",
+    ),
+    Rule(write=True, event=Event.WH_BLK_DIRTY, held=True, dirty="local"),
+    Rule(
+        # Second write: reserved -> dirty, purely local.
+        write=True,
+        event=Event.WH_BLK_CLEAN,
+        held=True,
+        aux="self",
+        fanout="F",
+        set_dirty=True,
+        aux_action="clear",
+    ),
+    Rule(
+        # First write to a valid block: one word written through; the block
+        # becomes reserved (clean, known-sole), not dirty.
+        write=True,
+        event=Event.WH_BLK_CLEAN,
+        held=True,
+        ops=((BusOp.WRITE_THROUGH, 1),),
+        fanout="F",
+        mask="only",
+        aux_action="self",
+    ),
+    Rule(
+        write=True, event=Event.WM_FIRST_REF, first=True, mask="add", set_dirty=True
+    ),
+    Rule(
+        write=True,
+        event=Event.WM_BLK_DIRTY,
+        dirty="remote",
+        ops=((BusOp.FLUSH_REQUEST, 1), (BusOp.WRITE_BACK, 1)),
+        mask="only",
+        set_dirty=True,
+        aux_action="clear",
+    ),
+    Rule(
+        write=True,
+        event=Event.WM_BLK_CLEAN,
+        fclass=(1, 2),
+        ops=((BusOp.MEM_ACCESS, 1),),
+        fanout="F",
+        mask="only",
+        set_dirty=True,
+        aux_action="clear",
+    ),
+    Rule(
+        write=True,
+        event=Event.WM_UNCACHED,
+        ops=((BusOp.MEM_ACCESS, 1),),
+        fanout="F",
+        mask="only",
+        set_dirty=True,
+        aux_action="clear",
+    ),
+)
 
 
 class WriteOnce(CoherenceProtocol):
@@ -120,3 +204,6 @@ class WriteOnce(CoherenceProtocol):
         if self._reserved.get(block) == cache:
             del self._reserved[block]
         return super().evict(cache, block)
+
+    def compile_table(self) -> Optional[TransitionTable]:
+        return compile_rules(self.name, _WRITE_ONCE_RULES, has_aux=True)

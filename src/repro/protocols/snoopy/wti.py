@@ -18,14 +18,59 @@ memory-consistent) block.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...interconnect.bus import BusOp
 from ...memory.sharing import bit_count
 from ..base import AccessOutcome, CoherenceProtocol
 from ..events import Event
+from ..table import Rule, TransitionTable, compile_rules
 
 __all__ = ["WTI"]
 
 _WT_OP = ((BusOp.WRITE_THROUGH, 1),)
+
+_WTI_RULES = (
+    Rule(write=False, event=Event.READ_HIT, held=True),
+    Rule(write=False, event=Event.RM_FIRST_REF, first=True, mask="add"),
+    Rule(
+        write=False,
+        event=Event.RM_BLK_CLEAN,
+        fclass=(1, 2),
+        ops=((BusOp.MEM_ACCESS, 1),),
+        mask="add",
+    ),
+    Rule(
+        write=False,
+        event=Event.RM_UNCACHED,
+        ops=((BusOp.MEM_ACCESS, 1),),
+        mask="add",
+    ),
+    Rule(
+        write=True,
+        event=Event.WRITE_HIT,
+        held=True,
+        ops=_WT_OP,
+        fanout="F",
+        mask="only",
+    ),
+    Rule(write=True, event=Event.WM_FIRST_REF, first=True, ops=_WT_OP, mask="add"),
+    Rule(
+        write=True,
+        event=Event.WM_BLK_CLEAN,
+        fclass=(1, 2),
+        ops=((BusOp.MEM_ACCESS, 1),) + _WT_OP,
+        fanout="F",
+        mask="only",
+    ),
+    Rule(
+        write=True,
+        event=Event.WM_UNCACHED,
+        ops=((BusOp.MEM_ACCESS, 1),) + _WT_OP,
+        fanout="F",
+        mask="add",
+    ),
+)
 
 
 class WTI(CoherenceProtocol):
@@ -78,3 +123,6 @@ class WTI(CoherenceProtocol):
             ops=((BusOp.MEM_ACCESS, 1), (BusOp.WRITE_THROUGH, 1)),
             invalidation_fanout=bit_count(remote),
         )
+
+    def compile_table(self) -> Optional[TransitionTable]:
+        return compile_rules(self.name, _WTI_RULES)

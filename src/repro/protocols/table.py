@@ -1,0 +1,339 @@
+"""Transition-table compilation: protocol rules as integer lookup arrays.
+
+The fast backend (:mod:`repro.core.fastsim`) does not call a protocol's
+``_read``/``_write`` methods per reference.  Instead, each compilable
+protocol describes its transition function *declaratively* as an ordered
+list of :class:`Rule` objects — a direct transcription of the ``if``/``elif``
+ladder in its ``_read``/``_write`` code — and this module expands the rules
+into a 512-entry dispatch table indexed by a **condition code** computed
+from per-block state:
+
+========  ==========================================================
+bit 0     the reference is a write
+bit 1     globally first reference to the block (never seen before)
+bit 2     the requester already holds the block
+bits 3-4  dirty state: 0 = clean, 1 = dirty locally, 2 = dirty remote
+bits 5-6  remote-copy class ``fclass``: 0 = no remote copies,
+          1 = ``1 <= F <= threshold``, 2 = ``F > threshold``
+bits 7-8  aux annotation: 0 = none, 1 = self, 2 = another cache
+========  ==========================================================
+
+``F`` is the remote holder count.  The *threshold* splits invalidation
+situations into the directed regime and the broadcast regime, which is what
+collapses the whole Dir0B/DirnNB/DiriB family into one rule set plus an
+:class:`InvalidationSpec`.  The *aux* axis carries the one per-block
+annotation some protocols keep beyond the sharing table: Yen & Fu's single
+bit, Write-Once's reserved state, Illinois's exclusive state.
+
+Each dispatch entry is a :class:`Row`: the Table 4 event, constant bus ops,
+bus ops linear in ``F``, whether the reference populates the Figure 1
+fan-out histogram, and the state-update actions (all drawn from a fixed
+vocabulary the kernel executes in a fixed order).  Rows are pure data, so
+the kernel can tally *hits per row* and reconstruct bit-identical
+:class:`~repro.core.counters.SimulationCounters` at flush time — op
+multisets, not op sequences, are what the counters observe.
+
+Conditions not matched by any rule stay unmapped; the kernel raises
+:class:`TableError` if a trace ever reaches one, which the differential
+test suite treats as a failure.  Protocols whose state does not fit this
+vocabulary (per-block admission order, coarse digit codes, per-cache decay
+counters) simply do not compile — ``compile_table()`` returns ``None`` and
+the fast backend falls back to stepping the reference pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..interconnect.bus import BusOp
+from .base import NO_OPS, OpList
+from .events import Event
+
+__all__ = [
+    "Rule",
+    "Row",
+    "InvalidationSpec",
+    "TransitionTable",
+    "TableError",
+    "compile_rules",
+    "CODE_SPACE",
+]
+
+#: Size of the condition-code space (9 bits, see module docstring).
+CODE_SPACE = 512
+
+# Condition-code bit layout.
+_W = 1  # write
+_FIRST = 2
+_HELD = 4
+_DIRTY_LOCAL = 8
+_DIRTY_REMOTE = 16
+_FCLASS1 = 32
+_FCLASS2 = 64
+_AUX_SELF = 128
+_AUX_OTHER = 256
+
+# State-update action flags (executed by the kernel in this order).
+ACT_CLEAR_DIRTY = 1
+ACT_MASK_ADD = 2
+ACT_MASK_ONLY = 4
+ACT_SET_DIRTY = 8
+
+AUX_KEEP = 0
+AUX_CLEAR = 1
+AUX_SELF = 2
+
+_DIRTY_VALUES = ("none", "local", "remote")
+_AUX_VALUES = ("none", "self", "other")
+_MASK_ACTIONS = {"keep": 0, "add": ACT_MASK_ADD, "only": ACT_MASK_ONLY}
+_AUX_ACTIONS = {"keep": AUX_KEEP, "clear": AUX_CLEAR, "self": AUX_SELF}
+
+
+class TableError(RuntimeError):
+    """A compiled table was driven into a condition no rule covers."""
+
+
+@dataclass(frozen=True)
+class InvalidationSpec:
+    """How a directory-family protocol removes ``F`` remote clean copies.
+
+    ``threshold`` bounds the directed regime: invalidations with
+    ``F <= threshold`` cost ``directed`` per copy, larger ones cost the
+    constant ``broadcast`` ops.  ``None`` means the directed regime covers
+    every ``F`` (a full-map directory); ``0`` means everything broadcasts.
+    """
+
+    threshold: Optional[int]
+    directed: OpList = NO_OPS  # per remote copy (count = coeff * F)
+    broadcast: OpList = NO_OPS  # constant ops for the F > threshold regime
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One transition rule: a condition pattern plus its outcome and actions.
+
+    ``None`` (or omitted) condition fields are wildcards.  Rules are matched
+    in order, first match wins — transcribe the protocol's ``if``/``elif``
+    ladder top to bottom and the semantics carry over.
+    """
+
+    write: bool
+    event: Event
+    first: Optional[bool] = None
+    held: Optional[bool] = None
+    dirty: Union[str, Tuple[str, ...], None] = None
+    fclass: Union[int, Tuple[int, ...], None] = None
+    aux: Union[str, Tuple[str, ...], None] = None
+    ops: OpList = NO_OPS
+    per_remote: OpList = NO_OPS  # (op, coeff): count = coeff * F
+    #: splice in the table's :class:`InvalidationSpec` (directed/broadcast)
+    invalidates_remote: bool = False
+    #: record Figure 1 fan-out: ``None`` = no, ``"F"`` = the remote count
+    fanout: Optional[str] = None
+    clear_dirty: bool = False
+    mask: str = "keep"
+    set_dirty: bool = False
+    aux_action: str = "keep"
+
+    def __post_init__(self) -> None:
+        if self.mask not in _MASK_ACTIONS:
+            raise ValueError(f"bad mask action {self.mask!r}")
+        if self.aux_action not in _AUX_ACTIONS:
+            raise ValueError(f"bad aux action {self.aux_action!r}")
+        if self.fanout not in (None, "F"):
+            raise ValueError(f"bad fanout spec {self.fanout!r}")
+
+    def _matches(
+        self, first: bool, held: bool, dirty: str, fclass: int, aux: str
+    ) -> bool:
+        if self.first is not None and self.first != first:
+            return False
+        if self.held is not None and self.held != held:
+            return False
+        for want, have in (
+            (self.dirty, dirty),
+            (self.aux, aux),
+            (self.fclass, fclass),
+        ):
+            if want is None:
+                continue
+            if isinstance(want, tuple):
+                if have not in want:
+                    return False
+            elif want != have:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Row:
+    """One expanded dispatch entry (pure data; the kernel never branches on
+    protocol identity)."""
+
+    event: Event
+    base_ops: OpList  # constant (op, count) pairs
+    linear_ops: OpList  # (op, coeff) pairs, count = coeff * F
+    fclass: int  # remote-copy class of the conditions mapping here
+    fanout: bool  # record invalidation fan-out (F; constant 0 iff fclass 0)
+    actions: int  # ACT_* flags
+    aux_action: int  # AUX_*
+    used_bus: bool  # compile-time constant; validated at expansion
+
+    @property
+    def needs_f(self) -> bool:
+        """Whether the kernel must accumulate ``F`` for this row."""
+        return self.fclass > 0 and (bool(self.linear_ops) or self.fanout)
+
+
+@dataclass
+class TransitionTable:
+    """A protocol's compiled transition function.
+
+    ``dispatch[code]`` is an index into ``rows`` or ``None`` for conditions
+    the protocol can never reach (hitting one raises :class:`TableError`).
+    """
+
+    protocol_name: str
+    threshold: Optional[int]  # None = no broadcast class (directed covers all F)
+    has_aux: bool
+    rows: List[Row] = field(default_factory=list)
+    dispatch: List[Optional[int]] = field(default_factory=list)
+
+
+def _valid_condition(
+    first: bool,
+    held: bool,
+    dirty: str,
+    fclass: int,
+    aux: str,
+    has_aux: bool,
+    threshold: Optional[int],
+) -> bool:
+    """Whether the kernel's condition encoder can ever produce this combo."""
+    if first:
+        # A never-seen block has no holders, no owner, no annotations.
+        return not held and dirty == "none" and fclass == 0 and aux == "none"
+    if dirty == "local" and not held:
+        return False  # the owner is always a holder
+    if dirty == "remote" and fclass == 0:
+        return False  # a remote owner is a remote holder
+    if aux != "none" and not has_aux:
+        return False
+    if fclass == 1 and threshold == 0:
+        return False  # 1 <= F <= 0 is empty
+    if fclass == 2 and threshold is None:
+        return False  # directed regime covers every F
+    return True
+
+
+def _encode(first: bool, held: bool, dirty: str, fclass: int, aux: str, write: bool) -> int:
+    code = _W if write else 0
+    if first:
+        code |= _FIRST
+    if held:
+        code |= _HELD
+    code |= (_DIRTY_LOCAL, _DIRTY_REMOTE)[_DIRTY_VALUES.index(dirty) - 1] if dirty != "none" else 0
+    if fclass == 1:
+        code |= _FCLASS1
+    elif fclass == 2:
+        code |= _FCLASS2
+    if aux == "self":
+        code |= _AUX_SELF
+    elif aux == "other":
+        code |= _AUX_OTHER
+    return code
+
+
+def _overlapped_only(ops: Sequence[Tuple[BusOp, int]]) -> bool:
+    return all(op is BusOp.DIR_CHECK_OVERLAPPED or count <= 0 for op, count in ops)
+
+
+def compile_rules(
+    protocol_name: str,
+    rules: Sequence[Rule],
+    *,
+    invalidation: Optional[InvalidationSpec] = None,
+    has_aux: bool = False,
+) -> TransitionTable:
+    """Expand an ordered rule list into a dispatch table.
+
+    Every encoder-reachable condition is matched against the rules in order;
+    the first match supplies the row.  Conditions no rule matches stay
+    unmapped (the kernel faults if a trace reaches one — by construction
+    that means the transcription missed a protocol path).
+    """
+    threshold = invalidation.threshold if invalidation is not None else None
+    table = TransitionTable(
+        protocol_name=protocol_name,
+        threshold=threshold,
+        has_aux=has_aux,
+        dispatch=[None] * CODE_SPACE,
+    )
+    row_index = {}
+    for write in (False, True):
+        matching = [rule for rule in rules if rule.write is write]
+        for first in (False, True):
+            for held in (False, True):
+                for dirty in _DIRTY_VALUES:
+                    for fclass in (0, 1, 2):
+                        for aux in _AUX_VALUES:
+                            if not _valid_condition(
+                                first, held, dirty, fclass, aux, has_aux, threshold
+                            ):
+                                continue
+                            rule = next(
+                                (
+                                    r
+                                    for r in matching
+                                    if r._matches(first, held, dirty, fclass, aux)
+                                ),
+                                None,
+                            )
+                            if rule is None:
+                                continue
+                            row = _expand(rule, fclass, invalidation)
+                            key = row
+                            index = row_index.get(key)
+                            if index is None:
+                                index = len(table.rows)
+                                table.rows.append(row)
+                                row_index[key] = index
+                            code = _encode(first, held, dirty, fclass, aux, write)
+                            table.dispatch[code] = index
+    return table
+
+
+def _expand(rule: Rule, fclass: int, invalidation: Optional[InvalidationSpec]) -> Row:
+    base = rule.ops
+    linear = rule.per_remote
+    if rule.invalidates_remote and fclass > 0:
+        if invalidation is None:
+            raise ValueError(
+                f"rule for {rule.event} invalidates remote copies but the "
+                "table has no InvalidationSpec"
+            )
+        if fclass == 1:
+            linear = linear + invalidation.directed
+        else:
+            base = base + invalidation.broadcast
+    actions = _MASK_ACTIONS[rule.mask]
+    if rule.clear_dirty:
+        actions |= ACT_CLEAR_DIRTY
+    if rule.set_dirty:
+        actions |= ACT_SET_DIRTY
+    # used_bus is compile-time constant: linear ops contribute only when
+    # F >= 1, which is exactly fclass >= 1.
+    used_bus = not _overlapped_only(base) or (
+        fclass > 0 and not _overlapped_only(linear)
+    )
+    return Row(
+        event=rule.event,
+        base_ops=base,
+        linear_ops=linear,
+        fclass=fclass,
+        fanout=rule.fanout == "F",
+        actions=actions,
+        aux_action=_AUX_ACTIONS[rule.aux_action],
+        used_bus=used_bus,
+    )

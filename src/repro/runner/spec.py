@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from .._version import __version__ as PACKAGE_VERSION
-from ..core.simulator import SimulationResult, simulate
+from ..core.simulator import BACKENDS, SimulationResult, simulate
 from ..memory.cache import CacheGeometry
 from ..protocols.base import CoherenceProtocol
 from ..protocols.registry import (
@@ -84,7 +84,10 @@ class RunSpec:
     ``seed=None`` uses the trace's calibrated default seed; an explicit
     seed re-seeds the workload (the sweep's variance axis).  ``geometry``
     is a ``"SETSxWAYS"`` spec string (finite set-associative LRU caches) or
-    ``None`` for the paper's infinite caches.
+    ``None`` for the paper's infinite caches.  ``backend`` selects the
+    simulation engine (``"reference"`` or ``"fast"``); the backends are
+    counter-identical, but the cache key still embeds the backend so a
+    regression in one can never serve cached results to the other.
     """
 
     protocol: str
@@ -95,6 +98,7 @@ class RunSpec:
     sharing_model: SharingModel = SharingModel.PROCESS
     seed: Optional[int] = None
     geometry: Optional[str] = None
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocol", self.protocol.lower())
@@ -110,6 +114,10 @@ class RunSpec:
             raise ValueError(f"n_caches must be positive, got {self.n_caches}")
         if self.block_size <= 0:
             raise ValueError(f"block_size must be positive, got {self.block_size}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
         object.__setattr__(self, "geometry", normalize_geometry(self.geometry))
 
     # -- construction of the pieces -----------------------------------------
@@ -143,6 +151,7 @@ class RunSpec:
             "sharing_model": self.sharing_model.value,
             "seed": self.seed,
             "geometry": self.geometry or INFINITE_GEOMETRY,
+            "backend": self.backend,
         }
 
     def cell_id(self) -> str:
@@ -172,6 +181,7 @@ class RunSpec:
                 f"block_size={self.block_size}",
                 f"geometry={self.geometry or INFINITE_GEOMETRY}",
                 f"sharing={self.sharing_model.value}",
+                f"backend={self.backend}",
                 f"profile={self.profile()!r}",
             )
         )
@@ -194,6 +204,7 @@ class RunSpec:
             sharing_model=self.sharing_model,
             geometry=self.build_geometry(),
             probe=probe,
+            backend=self.backend,
         )
 
 
@@ -206,6 +217,7 @@ def sweep_grid(
     geometries: Sequence[Union[None, str, CacheGeometry]] = (None,),
     sharing_models: Sequence[SharingModel] = (SharingModel.PROCESS,),
     seeds: Sequence[Optional[int]] = (None,),
+    backend: str = "reference",
 ) -> List[RunSpec]:
     """The cross product of every sweep axis, in deterministic order.
 
@@ -226,6 +238,7 @@ def sweep_grid(
             sharing_model=sharing_model,
             seed=seed,
             geometry=geometry,
+            backend=backend,
         )
         for protocol in protocols
         for trace in trace_names

@@ -20,7 +20,10 @@ from .classify import (
     classify_blocks,
     sharing_profile,
 )
-from .packed import PackedTrace
+try:  # PackedTrace needs numpy (optional extra: pip install repro[fast])
+    from .packed import PackedTrace
+except ImportError:  # pragma: no cover - environment without numpy
+    PackedTrace = None  # type: ignore[assignment, misc]
 from .record import AccessType, DEFAULT_BLOCK_SIZE, TraceRecord, block_of
 from .stats import TraceStats, collect_stats
 from .stream import (

@@ -36,6 +36,53 @@ _FLAG_SPIN = 0x1
 _FLAG_OS = 0x2
 
 
+def _as_column(name: str, values, dtype) -> "_np.ndarray":
+    """Convert one column to its packed dtype, rejecting lossy narrowing.
+
+    ``np.asarray(values, dtype=...)`` would silently wrap out-of-range
+    values on some NumPy versions (a ``cpu`` of 65536 becoming 0) and raise
+    an opaque ``OverflowError`` on others, and dtype *inference* on a plain
+    list silently promotes mixed-magnitude integers to ``float64``
+    (``[0, 2**63]`` loses low bits).  Validating here turns all of those
+    into one clear ``ValueError`` at construction time and keeps every
+    in-range integer exact.
+    """
+    info = _np.iinfo(dtype)
+
+    def _out_of_range(lo, hi):
+        return ValueError(
+            f"{name} column value out of range for {_np.dtype(dtype).name}: "
+            f"saw [{lo}, {hi}], representable [0, {int(info.max)}]"
+        )
+
+    if isinstance(values, _np.ndarray):
+        if values.dtype == dtype:
+            return values
+        if values.size:
+            if not _np.issubdtype(values.dtype, _np.integer):
+                raise ValueError(
+                    f"{name} column must hold integers, got dtype {values.dtype}"
+                )
+            lo, hi = int(values.min()), int(values.max())
+            if lo < 0 or hi > int(info.max):
+                raise _out_of_range(lo, hi)
+        return values.astype(dtype)
+
+    # Plain sequence: validate in Python so numpy's inference never sees it.
+    checked = []
+    for value in values:
+        if not isinstance(value, (int, _np.integer)):
+            raise ValueError(
+                f"{name} column must hold integers, got {type(value).__name__}"
+            )
+        checked.append(int(value))
+    if checked:
+        lo, hi = min(checked), max(checked)
+        if lo < 0 or hi > int(info.max):
+            raise _out_of_range(lo, hi)
+    return _np.asarray(checked, dtype=dtype)
+
+
 class PackedTrace:
     """An immutable, column-oriented container of trace records."""
 
@@ -45,11 +92,11 @@ class PackedTrace:
         lengths = {len(cpu), len(pid), len(access), len(address), len(flags)}
         if len(lengths) != 1:
             raise ValueError(f"column lengths differ: {sorted(lengths)}")
-        self.cpu = _np.asarray(cpu, dtype=_np.uint16)
-        self.pid = _np.asarray(pid, dtype=_np.uint32)
-        self.access = _np.asarray(access, dtype=_np.uint8)
-        self.address = _np.asarray(address, dtype=_np.uint64)
-        self.flags = _np.asarray(flags, dtype=_np.uint8)
+        self.cpu = _as_column("cpu", cpu, _np.uint16)
+        self.pid = _as_column("pid", pid, _np.uint32)
+        self.access = _as_column("access", access, _np.uint8)
+        self.address = _as_column("address", address, _np.uint64)
+        self.flags = _as_column("flags", flags, _np.uint8)
 
     # -- construction ---------------------------------------------------------
 

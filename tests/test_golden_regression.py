@@ -15,11 +15,17 @@ To bless an intentional change::
 
 then commit the regenerated ``tests/golden/golden_metrics.json`` alongside
 the change that caused it.
+
+The harness honours ``REPRO_GOLDEN_BACKEND`` (``reference`` by default,
+``fast`` in a dedicated CI job): the fast backend claims bit-identical
+counters, so both backends must reproduce the *same* golden snapshot — any
+divergence fails here against numbers the other backend blessed.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict
 
@@ -39,6 +45,10 @@ GOLDEN_PROFILE = WorkloadProfile(
 )
 N_CACHES = 4
 
+#: Which simulation backend produces the numbers under test; both must
+#: match the one committed snapshot.
+BACKEND = os.environ.get("REPRO_GOLDEN_BACKEND", "reference")
+
 #: Comparison tolerance: the run is deterministic, so this only absorbs
 #: JSON round-tripping, not simulation noise.
 REL_TOL = 1e-12
@@ -49,6 +59,7 @@ def _metrics_for(protocol_name: str, trace) -> Dict[str, object]:
         create_protocol(protocol_name, N_CACHES),
         trace,
         trace_name=GOLDEN_PROFILE.name,
+        backend=BACKEND,
     )
     return {
         "references": result.references,

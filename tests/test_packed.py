@@ -2,11 +2,16 @@
 
 import pytest
 
-from conftest import record
-from repro.core.simulator import simulate
-from repro.protocols import create_protocol
-from repro.trace import standard_trace, take
-from repro.trace.packed import PackedTrace
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from conftest import record  # noqa: E402
+from repro.core.simulator import simulate  # noqa: E402
+from repro.protocols import create_protocol  # noqa: E402
+from repro.trace import standard_trace, take  # noqa: E402
+from repro.trace.packed import PackedTrace  # noqa: E402
+from repro.trace.record import AccessType, TraceRecord  # noqa: E402
 
 
 def _sample():
@@ -77,3 +82,96 @@ class TestVectorisedStats:
         from_packed = simulate(create_protocol("dir0b", 4), packed)
         from_records = simulate(create_protocol("dir0b", 4), list(packed))
         assert from_packed.counters.events == from_records.counters.events
+
+
+#: Records spanning the full representable width of every packed column:
+#: cpu is uint16, pid uint32, address uint64, plus both boolean flags.
+_FUZZ_RECORDS = st.builds(
+    TraceRecord,
+    cpu=st.integers(0, 2**16 - 1),
+    pid=st.integers(0, 2**32 - 1),
+    access=st.sampled_from(list(AccessType)),
+    address=st.integers(0, 2**64 - 1),
+    is_lock_spin=st.booleans(),
+    is_os=st.booleans(),
+)
+
+
+class TestRoundTripFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(records=st.lists(_FUZZ_RECORDS, max_size=40))
+    def test_full_width_round_trip(self, records):
+        packed = PackedTrace.from_records(records)
+        assert list(packed) == records
+
+    @settings(max_examples=100, deadline=None)
+    @given(records=st.lists(_FUZZ_RECORDS, max_size=40))
+    def test_encode_decode_encode_is_stable(self, records):
+        once = PackedTrace.from_records(records)
+        twice = PackedTrace.from_records(list(once))
+        for name in PackedTrace.__slots__:
+            first, second = getattr(once, name), getattr(twice, name)
+            assert first.dtype == second.dtype
+            assert np.array_equal(first, second)
+
+    @settings(max_examples=100, deadline=None)
+    @given(records=st.lists(_FUZZ_RECORDS, max_size=40), data=st.data())
+    def test_slice_round_trip(self, records, data):
+        packed = PackedTrace.from_records(records)
+        start = data.draw(st.integers(0, len(records)))
+        stop = data.draw(st.integers(start, len(records)))
+        assert list(packed[start:stop]) == records[start:stop]
+
+
+class TestEmptyTrace:
+    def test_empty_round_trip(self):
+        packed = PackedTrace.from_records([])
+        assert len(packed) == 0
+        assert list(packed) == []
+        assert packed.instruction_count() == 0
+        assert packed.distinct_data_blocks() == 0
+
+    def test_empty_save_and_load(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        PackedTrace.from_records([]).save(path)
+        loaded = PackedTrace.load(path)
+        assert len(loaded) == 0
+        assert loaded.cpu.dtype == np.uint16
+        assert loaded.address.dtype == np.uint64
+
+    def test_empty_slice_of_nonempty(self):
+        packed = PackedTrace.from_records(_sample())
+        assert list(packed[2:2]) == []
+
+
+class TestColumnValidation:
+    def test_max_width_values_survive(self):
+        packed = PackedTrace(
+            [2**16 - 1], [2**32 - 1], [2], [2**64 - 1], [3]
+        )
+        top = packed[0]
+        assert top.cpu == 2**16 - 1
+        assert top.pid == 2**32 - 1
+        assert top.address == 2**64 - 1
+        assert top.is_lock_spin and top.is_os
+
+    @pytest.mark.parametrize(
+        "kwargs, column",
+        [
+            (dict(cpu=[2**16]), "cpu"),
+            (dict(pid=[2**32]), "pid"),
+            (dict(access=[300]), "access"),
+            (dict(address=[2**64]), "address"),
+            (dict(flags=[-1]), "flags"),
+            (dict(cpu=[-1]), "cpu"),
+        ],
+    )
+    def test_out_of_range_values_rejected(self, kwargs, column):
+        columns = dict(cpu=[0], pid=[0], access=[1], address=[0], flags=[0])
+        columns.update(kwargs)
+        with pytest.raises(ValueError, match=column):
+            PackedTrace(**columns)
+
+    def test_non_integer_column_rejected(self):
+        with pytest.raises(ValueError, match="address.*integers"):
+            PackedTrace([0], [0], [1], [1.5], [0])
