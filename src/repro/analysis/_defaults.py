@@ -1,0 +1,20 @@
+"""Shared default-bus resolution for the analysis layer.
+
+Every analysis entry point that prices counters accepts
+``bus: Optional[BusCostModel] = None`` and resolves it through
+:func:`_default_bus`, so the whole layer agrees on one default pricing —
+the paper's pipelined bus, loaded from the bundled characterization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..interconnect.bus import BusCostModel, pipelined_bus
+
+__all__ = ["_default_bus"]
+
+
+def _default_bus(bus: Optional[BusCostModel] = None) -> BusCostModel:
+    """Resolve an optional bus argument to the layer-wide default."""
+    return bus if bus is not None else pipelined_bus()

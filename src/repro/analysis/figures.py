@@ -8,7 +8,7 @@ the paper plots without any plotting dependency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.comparison import ComparisonResult
 from ..core.invalidation import InvalidationHistogram
@@ -16,8 +16,8 @@ from ..interconnect.bus import (
     BusCostModel,
     Table5Category,
     nonpipelined_bus,
-    pipelined_bus,
 )
+from ._defaults import _default_bus
 
 __all__ = [
     "Figure1",
@@ -28,6 +28,7 @@ __all__ = [
     "Figure4",
     "figure4",
     "figure5",
+    "figure_energy",
 ]
 
 
@@ -92,11 +93,11 @@ class RangeBars:
 
 
 def figure2(
-    comparison: ComparisonResult, schemes: Sequence[str] = None
+    comparison: ComparisonResult, schemes: Optional[Sequence[str]] = None
 ) -> RangeBars:
     """Figure 2: average bus cycle range per scheme (both bus models)."""
     schemes = tuple(schemes or comparison.protocols)
-    pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
+    pipe, nonpipe = _default_bus(), nonpipelined_bus()
     labels = [
         comparison.results[s][comparison.traces[0]].protocol_label
         for s in schemes
@@ -116,11 +117,11 @@ def figure2(
 
 
 def figure3(
-    comparison: ComparisonResult, schemes: Sequence[str] = None
+    comparison: ComparisonResult, schemes: Optional[Sequence[str]] = None
 ) -> RangeBars:
     """Figure 3: per-trace bus cycle ranges (POPS and THOR high, PERO low)."""
     schemes = tuple(schemes or comparison.protocols)
-    pipe, nonpipe = pipelined_bus(), nonpipelined_bus()
+    pipe, nonpipe = _default_bus(), nonpipelined_bus()
     labels = [
         comparison.results[s][comparison.traces[0]].protocol_label
         for s in schemes
@@ -168,11 +169,11 @@ class Figure4:
 
 def figure4(
     comparison: ComparisonResult,
-    bus: BusCostModel = None,
-    schemes: Sequence[str] = None,
+    bus: Optional[BusCostModel] = None,
+    schemes: Optional[Sequence[str]] = None,
 ) -> Figure4:
     """Figure 4 (pipelined bus by default)."""
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     schemes = tuple(schemes or comparison.protocols)
     fractions: Dict[str, Dict[Table5Category, float]] = {}
     labels = []
@@ -190,15 +191,15 @@ def figure4(
 
 def figure5(
     comparison: ComparisonResult,
-    bus: BusCostModel = None,
-    schemes: Sequence[str] = None,
+    bus: Optional[BusCostModel] = None,
+    schemes: Optional[Sequence[str]] = None,
 ) -> Dict[str, float]:
     """Figure 5: average bus cycles per bus *transaction* per scheme.
 
     Dragon's transactions are the cheapest (single-word updates), which is
     why fixed per-transaction overheads hurt it the most (Section 5.1).
     """
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     schemes = tuple(schemes or comparison.protocols)
     return {
         comparison.results[s][comparison.traces[0]].protocol_label: (
@@ -206,3 +207,30 @@ def figure5(
         )
         for s in schemes
     }
+
+
+def figure_energy(
+    comparison: ComparisonResult,
+    bus: Optional[BusCostModel] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Average energy per reference (nJ) per scheme — the energy companion
+    to Figure 2's cycle bars.
+
+    Requires a bus model with an energy axis (both bundled
+    characterizations carry one); raises :class:`ValueError` otherwise.
+    """
+    bus = _default_bus(bus)
+    if not bus.has_energy:
+        raise ValueError(
+            f"bus model {bus.name!r} carries no energy axis; build it from "
+            "a characterization with an [energy_nj] section"
+        )
+    schemes = tuple(schemes or comparison.protocols)
+    series: Dict[str, float] = {}
+    for scheme in schemes:
+        energy = comparison.average_energy(scheme, bus)
+        assert energy is not None  # has_energy checked above
+        label = comparison.results[scheme][comparison.traces[0]].protocol_label
+        series[label] = energy
+    return series

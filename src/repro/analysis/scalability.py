@@ -21,10 +21,10 @@ Four analyses from the paper's Section 6:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.simulator import SimulationResult, simulate
-from ..interconnect.bus import BusCostModel, BusOp, pipelined_bus
+from ..interconnect.bus import BusCostModel, BusOp
 from ..protocols.directory.coarse import DirCoarse
 from ..protocols.directory.dir0b import Dir0B
 from ..protocols.directory.dir1nb import Dir1NB
@@ -32,6 +32,7 @@ from ..protocols.directory.dirib import DiriB
 from ..protocols.directory.dirinb import DiriNB
 from ..protocols.directory.dirnnb import DirnNB
 from ..trace.record import TraceRecord
+from ._defaults import _default_bus
 
 __all__ = [
     "BroadcastCostLine",
@@ -66,14 +67,14 @@ class BroadcastCostLine:
 
 
 def broadcast_cost_line(
-    result: SimulationResult, bus: BusCostModel = None
+    result: SimulationResult, bus: Optional[BusCostModel] = None
 ) -> BroadcastCostLine:
     """Extract the Section 6 linear model from one simulation result.
 
     The slope is the measured broadcast rate (broadcasts per reference); the
     intercept is the cost with broadcasts priced at zero.
     """
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     free_broadcasts = bus.with_broadcast_cost(0.0)
     intercept = result.cycles_per_reference(free_broadcasts)
     slope = result.counters.ops.rate(BusOp.BROADCAST_INVALIDATE)
@@ -138,10 +139,10 @@ def sweep_dirib(
     trace_factories: Mapping[str, TraceFactory],
     pointer_counts: Sequence[int] = (1, 2, 4),
     n_caches: int = 4,
-    bus: BusCostModel = None,
+    bus: Optional[BusCostModel] = None,
 ) -> List[PointerSweepPoint]:
     """Sweep DiriB over pointer counts (broadcast frequency falls with i)."""
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     points = []
     for pointers in pointer_counts:
         cycles, miss, broadcasts, _ = _average_over_traces(
@@ -169,11 +170,11 @@ def sweep_dirinb(
     trace_factories: Mapping[str, TraceFactory],
     pointer_counts: Sequence[int] = (1, 2, 4),
     n_caches: int = 4,
-    bus: BusCostModel = None,
+    bus: Optional[BusCostModel] = None,
     eviction: str = "fifo",
 ) -> List[PointerSweepPoint]:
     """Sweep DiriNB over pointer counts (miss rate falls as i grows)."""
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     points = []
     for pointers in pointer_counts:
         cycles, miss, _, displaced = _average_over_traces(

@@ -19,16 +19,17 @@ applications.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..core.invalidation import InvalidationHistogram
 from ..core.simulator import simulate
-from ..interconnect.bus import BusCostModel, BusOp, pipelined_bus
+from ..interconnect.bus import BusCostModel, BusOp
 from ..protocols.base import CoherenceProtocol
 from ..protocols.directory.dir0b import Dir0B
 from ..protocols.directory.dirib import DiriB
 from ..protocols.directory.dirinb import DiriNB
 from ..trace.synthetic import SyntheticWorkload, WorkloadProfile, dataclass_replace
+from ._defaults import _default_bus
 
 __all__ = [
     "ScalingPoint",
@@ -113,7 +114,7 @@ def _sweep(
 def fanout_scaling(
     base_profile: WorkloadProfile,
     processor_counts: Sequence[int] = (4, 8, 16),
-    bus: BusCostModel = None,
+    bus: Optional[BusCostModel] = None,
 ) -> List[ScalingPoint]:
     """Does Figure 1's small-fan-out property survive larger machines?
 
@@ -121,7 +122,7 @@ def fanout_scaling(
     at each machine size.
     """
     return _sweep(
-        base_profile, processor_counts, Dir0B, bus or pipelined_bus()
+        base_profile, processor_counts, Dir0B, _default_bus(bus)
     )
 
 
@@ -129,14 +130,14 @@ def dirib_broadcast_scaling(
     base_profile: WorkloadProfile,
     pointers: int,
     processor_counts: Sequence[int] = (4, 8, 16),
-    bus: BusCostModel = None,
+    bus: Optional[BusCostModel] = None,
 ) -> List[ScalingPoint]:
     """Broadcast frequency of DiriB(i) as the machine grows."""
     return _sweep(
         base_profile,
         processor_counts,
         lambda n: DiriB(n, pointers=pointers),
-        bus or pipelined_bus(),
+        _default_bus(bus),
     )
 
 
@@ -144,12 +145,12 @@ def dirinb_miss_scaling(
     base_profile: WorkloadProfile,
     pointers: int,
     processor_counts: Sequence[int] = (4, 8, 16),
-    bus: BusCostModel = None,
+    bus: Optional[BusCostModel] = None,
 ) -> List[ScalingPoint]:
     """Extra misses from DiriNB(i)'s copy cap as the machine grows."""
     return _sweep(
         base_profile,
         processor_counts,
         lambda n: DiriNB(n, pointers=pointers),
-        bus or pipelined_bus(),
+        _default_bus(bus),
     )

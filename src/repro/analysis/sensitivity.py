@@ -25,7 +25,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.comparison import ComparisonResult
 from ..core.simulator import SimulationResult
-from ..interconnect.bus import BusCostModel, pipelined_bus
+from ..interconnect.bus import BusCostModel
+from ._defaults import _default_bus
 
 __all__ = [
     "FiniteSensitivityTable",
@@ -59,10 +60,10 @@ class OverheadLine:
 def overhead_lines(
     comparison: ComparisonResult,
     schemes: Sequence[str] = ("dir0b", "dragon"),
-    bus: BusCostModel = None,
+    bus: Optional[BusCostModel] = None,
 ) -> Dict[str, OverheadLine]:
     """The Section 5.1 overhead lines for the requested schemes."""
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     lines: Dict[str, OverheadLine] = {}
     for scheme in schemes:
         label = comparison.results[scheme][comparison.traces[0]].protocol_label
@@ -145,7 +146,7 @@ def finite_sensitivity(
     meaning infinite caches.  Every (scheme, geometry) pair must cover the
     same number of traces; the table averages over them.
     """
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     schemes: List[str] = []
     geometries: List[str] = []
     sums: Dict[Tuple[str, str], List[float]] = {}

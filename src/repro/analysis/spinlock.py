@@ -16,13 +16,14 @@ never touch the bus.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Mapping, Sequence
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
 
 from ..core.simulator import simulate
-from ..interconnect.bus import BusCostModel, pipelined_bus
+from ..interconnect.bus import BusCostModel
 from ..protocols.registry import create_protocol
 from ..trace.record import TraceRecord
 from ..trace.stream import exclude_lock_spins
+from ._defaults import _default_bus
 
 __all__ = ["SpinLockImpact", "spin_lock_impact"]
 
@@ -55,14 +56,14 @@ def spin_lock_impact(
     trace_factories: Mapping[str, TraceFactory],
     schemes: Sequence[str] = ("dir1nb", "dir0b"),
     n_caches: int = 4,
-    bus: BusCostModel = None,
+    bus: Optional[BusCostModel] = None,
 ) -> Dict[str, SpinLockImpact]:
     """Run the Section 5.2 experiment over the given traces.
 
     Returns per-scheme cycle costs averaged over the traces, with the
     lock-test-excluded run normalised to the unfiltered reference count.
     """
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     results: Dict[str, SpinLockImpact] = {}
     for scheme in schemes:
         with_spins = []

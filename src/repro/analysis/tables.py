@@ -8,7 +8,7 @@ so a bench run visually mirrors the paper's table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.comparison import ComparisonResult
 from ..interconnect.bus import (
@@ -16,9 +16,9 @@ from ..interconnect.bus import (
     BusTiming,
     Table5Category,
     nonpipelined_bus,
-    pipelined_bus,
 )
 from ..trace.stats import TraceStats
+from ._defaults import _default_bus
 
 __all__ = [
     "table1",
@@ -28,6 +28,8 @@ __all__ = [
     "table4",
     "Table5",
     "table5",
+    "EnergyTable",
+    "energy_table",
     "TABLE4_ROWS",
 ]
 
@@ -45,11 +47,14 @@ def render_table1(timing: BusTiming = BusTiming()) -> str:
 
 
 def table2(
-    pipelined: BusCostModel = None, nonpipelined: BusCostModel = None
+    pipelined: Optional[BusCostModel] = None,
+    nonpipelined: Optional[BusCostModel] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Table 2: per-access-type bus cycle costs for both bus models."""
-    pipelined = pipelined or pipelined_bus()
-    nonpipelined = nonpipelined or nonpipelined_bus()
+    pipelined = _default_bus(pipelined)
+    nonpipelined = (
+        nonpipelined if nonpipelined is not None else nonpipelined_bus()
+    )
     rows: Dict[str, Dict[str, float]] = {}
     pipe_rows = pipelined.table2_rows()
     nonpipe_rows = nonpipelined.table2_rows()
@@ -150,7 +155,9 @@ class Table4:
         return "\n".join(lines)
 
 
-def table4(comparison: ComparisonResult, schemes: Sequence[str] = None) -> Table4:
+def table4(
+    comparison: ComparisonResult, schemes: Optional[Sequence[str]] = None
+) -> Table4:
     """Build Table 4 from a comparison run."""
     schemes = tuple(schemes or comparison.protocols)
     values: Dict[str, Dict[str, float]] = {}
@@ -212,11 +219,11 @@ class Table5:
 
 def table5(
     comparison: ComparisonResult,
-    bus: BusCostModel = None,
-    schemes: Sequence[str] = None,
+    bus: Optional[BusCostModel] = None,
+    schemes: Optional[Sequence[str]] = None,
 ) -> Table5:
     """Build Table 5 (pipelined bus by default) from a comparison run."""
-    bus = bus or pipelined_bus()
+    bus = _default_bus(bus)
     schemes = tuple(schemes or comparison.protocols)
     by_category = {
         scheme: comparison.average_category_cycles(scheme, bus)
@@ -228,4 +235,64 @@ def table5(
     ]
     return Table5(
         bus=bus.name, schemes=schemes, labels=labels, by_category=by_category
+    )
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Average energy per reference (nJ) per scheme under one bus model.
+
+    Only buses built from a characterization carrying an ``[energy_nj]``
+    section can price energy; both bundled models do.
+    """
+
+    bus: str
+    schemes: Sequence[str]
+    labels: Sequence[str]
+    nanojoules: Mapping[str, float]  # scheme -> nJ per reference
+
+    def value(self, scheme: str) -> float:
+        return self.nanojoules[scheme]
+
+    def render(self) -> str:
+        header = f"{'Scheme':<14}{'nJ/ref':>10}"
+        lines = [
+            f"Energy per reference by scheme ({self.bus} bus)",
+            header,
+            "-" * len(header),
+        ]
+        for scheme, label in zip(self.schemes, self.labels):
+            lines.append(f"{label:<14}{self.nanojoules[scheme]:>10.4f}")
+        return "\n".join(lines)
+
+
+def energy_table(
+    comparison: ComparisonResult,
+    bus: Optional[BusCostModel] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> EnergyTable:
+    """Trace-averaged energy per reference for each scheme.
+
+    Raises :class:`ValueError` when ``bus`` carries no energy axis (e.g. a
+    parametric :func:`~repro.interconnect.bus.BusCostModel` built without a
+    characterization).
+    """
+    bus = _default_bus(bus)
+    if not bus.has_energy:
+        raise ValueError(
+            f"bus model {bus.name!r} carries no energy axis; build it from "
+            "a characterization with an [energy_nj] section"
+        )
+    schemes = tuple(schemes or comparison.protocols)
+    nanojoules: Dict[str, float] = {}
+    for scheme in schemes:
+        energy = comparison.average_energy(scheme, bus)
+        assert energy is not None  # has_energy checked above
+        nanojoules[scheme] = energy
+    labels = [
+        comparison.results[scheme][comparison.traces[0]].protocol_label
+        for scheme in schemes
+    ]
+    return EnergyTable(
+        bus=bus.name, schemes=schemes, labels=labels, nanojoules=nanojoules
     )

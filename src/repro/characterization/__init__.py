@@ -1,0 +1,40 @@
+"""Versioned hardware characterization files: costs as data, not code.
+
+The paper's central methodological trick (Section 4.1) is that event
+frequencies are independent of hardware costs — one simulation per
+protocol, then costs vary freely.  This package is the hardware half of
+that split made data-driven: a characterization file describes one
+hardware model (Table 1 timings, per-op bus-cycle costs, per-op energy in
+nanojoules, plus name/version metadata), and a
+:class:`~repro.interconnect.bus.BusCostModel` is *constructed from* it
+rather than hard-coded.
+
+The paper's two Table 2 bus organisations ship as bundled files
+(``data/pipelined.toml`` and ``data/non_pipelined.toml``);
+:func:`~repro.interconnect.bus.pipelined_bus` /
+:func:`~repro.interconnect.bus.nonpipelined_bus` are thin wrappers that
+load them.  User files (TOML or ESL-style sectioned CSV) plug into the
+sweep runner as a first-class axis: ``RunSpec.characterization`` folds the
+file's :meth:`Characterization.content_hash` into the cache key, and the
+sweep's re-pricing path weights one set of simulated counters under every
+characterization without re-simulating (see ``docs/characterization.md``).
+"""
+
+from .schema import Characterization, CharacterizationError
+from .loader import (
+    BUILTIN_CHARACTERIZATIONS,
+    builtin_bus_model,
+    builtin_characterization,
+    builtin_names,
+    load_characterization,
+)
+
+__all__ = [
+    "BUILTIN_CHARACTERIZATIONS",
+    "Characterization",
+    "CharacterizationError",
+    "builtin_bus_model",
+    "builtin_characterization",
+    "builtin_names",
+    "load_characterization",
+]

@@ -1,0 +1,230 @@
+"""Load characterization files: bundled names, TOML paths, sectioned CSV.
+
+Three spellings resolve to a :class:`~repro.characterization.schema.Characterization`:
+
+* a **bundled name** — ``"pipelined"`` or ``"non-pipelined"`` (also
+  accepted: ``nonpipelined`` / ``non_pipelined``), the paper's two Table 2
+  bus organisations shipped under ``repro/characterization/data/``;
+* a **TOML path** — any ``*.toml`` file with ``[model]`` / ``[table1]`` /
+  ``[cycles]`` / ``[energy_nj]`` sections (read with :mod:`tomllib` on
+  Python ≥ 3.11 and a strict built-in subset parser on 3.10, so the
+  package stays dependency-free);
+* a **CSV path** — the ESL-CGRA ``characterization.py`` convention:
+  ``# section`` marker rows followed by ``key,value`` rows.
+
+Loads are memoized per ``(path, mtime, size)`` so hot paths (every
+``pipelined_bus()`` call) cost a dict lookup, while an edited file is
+re-read and re-validated on the next load.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .schema import Characterization, CharacterizationError
+
+__all__ = [
+    "BUILTIN_CHARACTERIZATIONS",
+    "builtin_bus_model",
+    "builtin_characterization",
+    "builtin_names",
+    "load_characterization",
+]
+
+_DATA_DIR = Path(__file__).parent / "data"
+
+#: Bundled characterization files, keyed by canonical name.
+BUILTIN_CHARACTERIZATIONS = {
+    "pipelined": _DATA_DIR / "pipelined.toml",
+    "non-pipelined": _DATA_DIR / "non_pipelined.toml",
+}
+
+#: Accepted spellings of the bundled names.
+_BUILTIN_ALIASES = {
+    "pipelined": "pipelined",
+    "non-pipelined": "non-pipelined",
+    "nonpipelined": "non-pipelined",
+    "non_pipelined": "non-pipelined",
+}
+
+try:
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - Python 3.10
+    _toml = None
+
+
+def builtin_names() -> Tuple[str, ...]:
+    """Canonical names of the bundled characterizations."""
+    return tuple(BUILTIN_CHARACTERIZATIONS)
+
+
+def _parse_toml_subset(text: str, label: str) -> Dict[str, Any]:
+    """Strict parser for the TOML subset characterization files use.
+
+    Supports ``[section]`` headers, ``key = value`` lines with double-quoted
+    strings, integers, floats and booleans, plus ``#`` comments.  Only used
+    when :mod:`tomllib` is unavailable (Python 3.10); bundled files and
+    :meth:`Characterization.save` output stay inside the subset.
+    """
+    payload: Dict[str, Any] = {}
+    section: Optional[Dict[str, Any]] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name:
+                raise CharacterizationError(
+                    f"{label}:{lineno}: empty section header"
+                )
+            section = payload.setdefault(name, {})
+            continue
+        if "=" not in line:
+            raise CharacterizationError(
+                f"{label}:{lineno}: expected 'key = value', got {line!r}"
+            )
+        if section is None:
+            raise CharacterizationError(
+                f"{label}:{lineno}: key outside any [section]"
+            )
+        key, _, value = line.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if value.startswith('"'):
+            if not value.endswith('"') or len(value) < 2:
+                raise CharacterizationError(
+                    f"{label}:{lineno}: unterminated string"
+                )
+            section[key] = (
+                value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            )
+        elif value in ("true", "false"):
+            section[key] = value == "true"
+        else:
+            try:
+                section[key] = (
+                    float(value)
+                    if any(c in value for c in ".eE")
+                    else int(value)
+                )
+            except ValueError:
+                raise CharacterizationError(
+                    f"{label}:{lineno}: unparsable value {value!r}"
+                ) from None
+    return payload
+
+
+def _parse_toml(text: str, label: str) -> Dict[str, Any]:
+    if _toml is not None:
+        try:
+            return _toml.loads(text)
+        except _toml.TOMLDecodeError as error:
+            raise CharacterizationError(f"{label}: invalid TOML: {error}") from None
+    return _parse_toml_subset(text, label)
+
+
+def _parse_csv(text: str, label: str) -> Dict[str, Any]:
+    """Parse the ESL-style sectioned CSV: ``# section`` rows then key,value."""
+    payload: Dict[str, Any] = {}
+    section: Optional[Dict[str, Any]] = None
+    for lineno, row in enumerate(csv.reader(io.StringIO(text)), start=1):
+        if not row or not any(cell.strip() for cell in row):
+            continue
+        first = row[0].strip()
+        if first.startswith("#"):
+            name = first.lstrip("#").strip()
+            if name:
+                section = payload.setdefault(name, {})
+            continue
+        if section is None:
+            raise CharacterizationError(
+                f"{label}:{lineno}: row before any '# section' marker"
+            )
+        if len(row) < 2:
+            raise CharacterizationError(
+                f"{label}:{lineno}: expected 'key,value', got {row!r}"
+            )
+        key, value = row[0].strip(), row[1].strip()
+        try:
+            section[key] = (
+                float(value) if any(c in value for c in ".eE") else int(value)
+            )
+        except ValueError:
+            section[key] = value
+    return payload
+
+
+#: (resolved path) -> ((mtime_ns, size), Characterization)
+_CACHE: Dict[str, Tuple[Tuple[int, int], Characterization]] = {}
+
+
+def _load_path(path: Path, source: str) -> Characterization:
+    try:
+        stat = path.stat()
+        stamp = (stat.st_mtime_ns, stat.st_size)
+    except OSError as error:
+        raise CharacterizationError(
+            f"cannot read characterization {source!r}: {error}"
+        ) from None
+    cache_key = str(path.resolve())
+    cached = _CACHE.get(cache_key)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CharacterizationError(
+            f"cannot read characterization {source!r}: {error}"
+        ) from None
+    if path.suffix.lower() == ".csv":
+        payload = _parse_csv(text, source)
+    else:
+        payload = _parse_toml(text, source)
+    try:
+        characterization = Characterization.from_payload(payload, source=source)
+    except CharacterizationError as error:
+        raise CharacterizationError(f"{source}: {error}") from None
+    _CACHE[cache_key] = (stamp, characterization)
+    return characterization
+
+
+def load_characterization(
+    source: Union[str, Path],
+) -> Characterization:
+    """Resolve a bundled name or a TOML/CSV path to a characterization.
+
+    Raises :class:`CharacterizationError` (a ``ValueError``) naming the
+    source for anything missing, unreadable, or schema-invalid.
+    """
+    if isinstance(source, str):
+        canonical = _BUILTIN_ALIASES.get(source.strip().lower())
+        if canonical is not None:
+            return _load_path(BUILTIN_CHARACTERIZATIONS[canonical], canonical)
+    path = Path(source)
+    if not path.exists():
+        names = ", ".join(builtin_names())
+        raise CharacterizationError(
+            f"unknown characterization {str(source)!r}: not a bundled name "
+            f"({names}) and no such file"
+        )
+    return _load_path(path, str(source))
+
+
+def builtin_characterization(name: str) -> Characterization:
+    """One of the bundled characterizations by (canonical or alias) name."""
+    canonical = _BUILTIN_ALIASES.get(name.strip().lower())
+    if canonical is None:
+        names = ", ".join(builtin_names())
+        raise CharacterizationError(
+            f"unknown builtin characterization {name!r}; bundled: {names}"
+        )
+    return _load_path(BUILTIN_CHARACTERIZATIONS[canonical], canonical)
+
+
+def builtin_bus_model(name: str):
+    """The bundled characterization's cost model (pipelined_bus's backend)."""
+    return builtin_characterization(name).bus_model()

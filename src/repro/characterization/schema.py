@@ -1,0 +1,283 @@
+"""The characterization schema: one validated hardware model as data.
+
+A characterization is four sections of plain data:
+
+``[model]``
+    ``name`` (required), ``version`` (required), ``description``
+    (optional), ``schema`` (optional, must equal
+    :data:`CHARACTERIZATION_SCHEMA_VERSION`).
+
+``[table1]``
+    Fundamental bus timings, one key per
+    :class:`~repro.interconnect.bus.BusTiming` field (all optional;
+    missing fields take the paper's Table 1 defaults).
+
+``[cycles]``
+    Bus cycles per primitive op, one key per
+    :class:`~repro.interconnect.bus.BusOp` value.  Required section.  Ops
+    may be omitted — pricing a protocol that emits a missing op raises a
+    clear :class:`~repro.interconnect.bus.UnknownBusOpError`.
+
+``[energy_nj]``
+    Energy per op occurrence in nanojoules.  Optional; when present it
+    gives every :class:`CostSummary` an ``energy_per_reference``.
+
+Identity is the **content hash**: a SHA-256 over the canonical payload
+(names, versions, timings, numeric values normalised so ``5`` and ``5.0``
+hash alike).  Two files with the same semantic content share a hash — and
+therefore share result-cache keys — regardless of path, comments or
+formatting; editing any value retires the cached pricing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..interconnect.bus import BusCostModel, BusOp, BusTiming
+
+__all__ = [
+    "CHARACTERIZATION_SCHEMA_VERSION",
+    "Characterization",
+    "CharacterizationError",
+]
+
+#: Bump when the file format's meaning changes incompatibly.
+CHARACTERIZATION_SCHEMA_VERSION = 1
+
+_TIMING_FIELDS = tuple(f.name for f in dataclass_fields(BusTiming))
+_OP_VALUES = {op.value: op for op in BusOp}
+
+
+class CharacterizationError(ValueError):
+    """A characterization file is missing, unreadable, or schema-invalid."""
+
+
+def _require_number(section: str, key: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CharacterizationError(
+            f"[{section}] {key} must be a number, got {value!r}"
+        )
+    if value < 0:
+        raise CharacterizationError(
+            f"[{section}] {key} must be non-negative, got {value!r}"
+        )
+    return value
+
+
+def _op_table(section: str, raw: Mapping[str, Any]) -> Dict[BusOp, float]:
+    table: Dict[BusOp, float] = {}
+    for key, value in raw.items():
+        op = _OP_VALUES.get(str(key))
+        if op is None:
+            known = ", ".join(sorted(_OP_VALUES))
+            raise CharacterizationError(
+                f"[{section}] unknown bus op {key!r}; known ops: {known}"
+            )
+        table[op] = _require_number(section, key, value)
+    return table
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """One hardware model: metadata, Table 1 timings, cycle and energy costs.
+
+    ``source`` records where the data was loaded from (builtin name or
+    file path) purely for display; it is **not** part of the content hash.
+    """
+
+    name: str
+    version: str
+    description: str = ""
+    timing: BusTiming = field(default_factory=BusTiming)
+    cycles: Mapping[BusOp, float] = field(default_factory=dict)
+    energy_nj: Mapping[BusOp, float] = field(default_factory=dict)
+    source: Optional[str] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Mapping[str, Any],
+        source: Optional[str] = None,
+    ) -> "Characterization":
+        """Validate a parsed TOML/CSV payload into a characterization."""
+        if not isinstance(payload, Mapping):
+            raise CharacterizationError("characterization must be a table")
+        unknown = set(payload) - {"model", "table1", "cycles", "energy_nj"}
+        if unknown:
+            raise CharacterizationError(
+                f"unknown sections: {', '.join(sorted(unknown))}"
+            )
+        model = payload.get("model")
+        if not isinstance(model, Mapping):
+            raise CharacterizationError("missing required [model] section")
+        name = model.get("name")
+        if not isinstance(name, str) or not name.strip():
+            raise CharacterizationError("[model] name must be a non-empty string")
+        version = model.get("version")
+        if version is None:
+            raise CharacterizationError("[model] version is required")
+        schema = model.get("schema", CHARACTERIZATION_SCHEMA_VERSION)
+        if schema != CHARACTERIZATION_SCHEMA_VERSION:
+            raise CharacterizationError(
+                f"unsupported schema {schema!r}; this version of repro reads "
+                f"schema {CHARACTERIZATION_SCHEMA_VERSION}"
+            )
+        description = model.get("description", "")
+        if not isinstance(description, str):
+            raise CharacterizationError("[model] description must be a string")
+
+        timing_raw = payload.get("table1", {})
+        if not isinstance(timing_raw, Mapping):
+            raise CharacterizationError("[table1] must be a table")
+        unknown = set(timing_raw) - set(_TIMING_FIELDS)
+        if unknown:
+            raise CharacterizationError(
+                f"[table1] unknown timings: {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(_TIMING_FIELDS)}"
+            )
+        timing_kwargs = {
+            key: int(_require_number("table1", key, value))
+            for key, value in timing_raw.items()
+        }
+        timing = BusTiming(**timing_kwargs)
+
+        cycles_raw = payload.get("cycles")
+        if not isinstance(cycles_raw, Mapping) or not cycles_raw:
+            raise CharacterizationError(
+                "missing required [cycles] section (per-op bus cycle costs)"
+            )
+        cycles = _op_table("cycles", cycles_raw)
+
+        energy_raw = payload.get("energy_nj", {})
+        if not isinstance(energy_raw, Mapping):
+            raise CharacterizationError("[energy_nj] must be a table")
+        energy = _op_table("energy_nj", energy_raw)
+
+        return cls(
+            name=name.strip(),
+            version=str(version),
+            description=description,
+            timing=timing,
+            cycles=cycles,
+            energy_nj=energy,
+            source=source,
+        )
+
+    @classmethod
+    def from_bus_model(
+        cls,
+        bus: BusCostModel,
+        version: str = "1",
+        description: str = "",
+        energy_nj: Optional[Mapping[BusOp, float]] = None,
+    ) -> "Characterization":
+        """Characterize an existing cost model (e.g. a Section 6 network).
+
+        This is the write path for what-if studies: derive a
+        :class:`BusCostModel` in code once (say via
+        :func:`~repro.interconnect.network.network_cost_model`), capture it
+        as a characterization, :meth:`save` it, and from then on it is an
+        ordinary data file the sweep axis can load.
+        """
+        return cls(
+            name=bus.name,
+            version=version,
+            description=description,
+            timing=bus.timing,
+            cycles=dict(bus.cycles),
+            energy_nj=dict(energy_nj if energy_nj is not None else bus.energy_nj),
+            source=None,
+        )
+
+    # -- identity -------------------------------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        """The characterization as plain sectioned data (save/round-trip)."""
+        data: Dict[str, Any] = {
+            "model": {
+                "name": self.name,
+                "version": self.version,
+                "schema": CHARACTERIZATION_SCHEMA_VERSION,
+            },
+            "table1": {
+                key: getattr(self.timing, key) for key in _TIMING_FIELDS
+            },
+            "cycles": {
+                op.value: self.cycles[op]
+                for op in sorted(self.cycles, key=lambda o: o.value)
+            },
+        }
+        if self.description:
+            data["model"]["description"] = self.description
+        if self.energy_nj:
+            data["energy_nj"] = {
+                op.value: self.energy_nj[op]
+                for op in sorted(self.energy_nj, key=lambda o: o.value)
+            }
+        return data
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical content (path/comments excluded).
+
+        Numeric values are normalised through ``repr(float(...))`` so
+        ``5`` and ``5.0`` are the same content; the hash changes exactly
+        when a name, version, timing, cycle or energy value changes.
+        """
+        parts = [
+            f"schema={CHARACTERIZATION_SCHEMA_VERSION}",
+            f"name={self.name}",
+            f"version={self.version}",
+            f"description={self.description}",
+        ]
+        for key in _TIMING_FIELDS:
+            parts.append(f"table1.{key}={repr(float(getattr(self.timing, key)))}")
+        for op in sorted(self.cycles, key=lambda o: o.value):
+            parts.append(f"cycles.{op.value}={repr(float(self.cycles[op]))}")
+        for op in sorted(self.energy_nj, key=lambda o: o.value):
+            parts.append(
+                f"energy_nj.{op.value}={repr(float(self.energy_nj[op]))}"
+            )
+        token = "|".join(parts)
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()[:40]
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def has_energy(self) -> bool:
+        return bool(self.energy_nj)
+
+    def bus_model(self) -> BusCostModel:
+        """The priced cost model this characterization describes."""
+        return BusCostModel(
+            name=self.name,
+            cycles=dict(self.cycles),
+            timing=self.timing,
+            energy_nj=dict(self.energy_nj),
+        )
+
+    def table2_rows(self) -> Dict[str, float]:
+        """This model's Table 2 column (for the ``models`` CLI verb)."""
+        return self.bus_model().table2_rows()
+
+    # -- serialisation --------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write this characterization as a TOML file (round-trips exactly)."""
+        path = Path(path)
+        lines = []
+        for section, entries in self.payload().items():
+            lines.append(f"[{section}]")
+            for key, value in entries.items():
+                if isinstance(value, str):
+                    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+                    lines.append(f'{key} = "{escaped}"')
+                else:
+                    lines.append(f"{key} = {value!r}")
+            lines.append("")
+        path.write_text("\n".join(lines), encoding="utf-8")
+        return path

@@ -4,7 +4,8 @@ Subcommands::
 
     repro-coherence compare  [--schemes ...] [--scale N] [--bus ...]
     repro-coherence sweep    [--schemes ...] [--traces ...] [--block-sizes ...]
-                             [--geometries ...]
+                             [--geometries ...] [--characterization ...]
+    repro-coherence models   [NAME|PATH ...]
     repro-coherence finite   [--schemes ...] [--geometries ...] [--scale N]
     repro-coherence profile  [--protocols ...] [--traces ...] [--geometry G]
     repro-coherence table4   [--scale N]
@@ -25,6 +26,12 @@ fans simulations across worker processes and ``--cache-dir`` enables the
 on-disk result cache; both apply to ``sweep`` and to the table/figure
 commands, always with bit-identical results to the serial path.  Sweep
 tables go to stdout; progress and throughput/cache metrics go to stderr.
+
+Hardware models are data (see docs/characterization.md): ``models`` lists
+the bundled characterizations (or previews user files) and ``sweep
+--characterization NAME|PATH ...`` prices the grid under each one — k
+characterizations cost one simulation per configuration, the rest are
+re-priced from the same counters.
 
 Resilience (see docs/robustness.md): ``sweep`` accepts ``--retries N``
 (per-cell retry budget with deterministic backoff), ``--cell-timeout S``
@@ -256,6 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharing models to sweep (default: process)",
     )
     sweep.add_argument(
+        "--characterization",
+        nargs="+",
+        default=[None],
+        metavar="NAME|PATH",
+        help=(
+            "hardware characterizations to price the grid under: bundled "
+            "names (pipelined, non-pipelined) or TOML/CSV files; k "
+            "characterizations still cost one simulation per cell (see "
+            "'models' and docs/characterization.md)"
+        ),
+    )
+    sweep.add_argument(
         "--n-caches", type=int, default=4, help="caches per system (default 4)"
     )
     sweep.add_argument(
@@ -371,6 +390,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the accumulated stage timers as JSON",
+    )
+
+    models = sub.add_parser(
+        "models",
+        help="list hardware characterizations and preview their Table 2 column",
+    )
+    models.add_argument(
+        "characterizations",
+        nargs="*",
+        metavar="NAME|PATH",
+        help=(
+            "bundled names or characterization files to preview "
+            "(default: every bundled model)"
+        ),
     )
 
     sub.add_parser("table4", help="event frequencies (paper Table 4)")
@@ -542,6 +575,8 @@ def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
             source = f"FAILED: {outcome.error.kind}"
         elif outcome.cached:
             source = "cache"
+        elif outcome.repriced:
+            source = "repriced"
         else:
             source = f"{outcome.elapsed:.2f}s"
         geometry = outcome.spec.geometry or "inf"
@@ -611,11 +646,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             geometries=tuple(args.geometries),
             sharing_models=tuple(SharingModel(value) for value in args.sharing),
             backend=_backend(args),
+            characterizations=tuple(args.characterization),
         )
     except ValueError as error:
         raise UsageError(f"sweep: {error}") from error
     report = _run_grid(args, specs)
     print(report.cell_table())
+    if any(spec.characterization for spec in specs):
+        print()
+        print(report.pricing_table())
     if report.failures:
         print()
         print(report.failure_table())
@@ -638,6 +677,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 3
     return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> None:
+    from .characterization import builtin_names, load_characterization
+
+    sources = args.characterizations or list(builtin_names())
+    first = True
+    for source in sources:
+        characterization = load_characterization(source)  # ValueError -> exit 2
+        if not first:
+            print()
+        first = False
+        bus = characterization.bus_model()
+        print(f"{characterization.name} (version {characterization.version})")
+        print(f"  source: {characterization.source}")
+        print(f"  content hash: {characterization.content_hash()}")
+        if characterization.description:
+            print(f"  {characterization.description}")
+        rows = characterization.table2_rows()
+        width = max(len(label) for label in rows)
+        print("  Table 2 column [bus cycles]:")
+        for label, cycles in rows.items():
+            print(f"    {label:<{width}}  {cycles:g}")
+        if characterization.has_energy:
+            ops = sorted(
+                characterization.energy_nj, key=lambda op: op.value
+            )
+            op_width = max(len(op.value) for op in ops)
+            print("  energy axis [nJ/op]:")
+            for op in ops:
+                print(f"    {op.value:<{op_width}}  {bus.energy_of(op):g}")
+        else:
+            print("  energy axis: none (cycles only)")
 
 
 def _cmd_finite(args: argparse.Namespace) -> None:
@@ -789,6 +861,7 @@ def _cmd_export_trace(args: argparse.Namespace) -> None:
 _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "models": _cmd_models,
     "finite": _cmd_finite,
     "profile": _cmd_profile,
     "table4": _cmd_table4,

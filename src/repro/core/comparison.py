@@ -57,6 +57,19 @@ class ComparisonResult:
         per_trace = self.per_trace_cycles(protocol, bus)
         return sum(per_trace.values()) / len(per_trace)
 
+    def average_energy(self, protocol: str, bus: BusCostModel) -> Optional[float]:
+        """Trace-averaged nanojoules per reference, ``None`` without an
+        energy axis on ``bus``."""
+        values = [
+            self.results[protocol][trace]
+            .cost_summary(bus)
+            .energy_per_reference
+            for trace in self.traces
+        ]
+        if any(value is None for value in values):
+            return None
+        return sum(values) / len(values)
+
     def average_category_cycles(
         self, protocol: str, bus: BusCostModel
     ) -> Dict[Table5Category, float]:

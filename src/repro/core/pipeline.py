@@ -96,6 +96,10 @@ class SimulationResult:
     def cycles_per_reference(self, bus: BusCostModel) -> float:
         return self.cost_summary(bus).cycles_per_reference
 
+    def energy_per_reference(self, bus: BusCostModel) -> Optional[float]:
+        """Nanojoules per reference, or ``None`` if ``bus`` has no energy axis."""
+        return self.cost_summary(bus).energy_per_reference
+
     @property
     def invalidation_histogram(self) -> InvalidationHistogram:
         """Fan-out distribution of writes to previously-clean blocks (Fig 1)."""

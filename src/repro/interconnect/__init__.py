@@ -6,12 +6,20 @@ from .bus import (
     BusOp,
     BusTiming,
     Table5Category,
+    UnknownBusOpError,
     nonpipelined_bus,
+    nonpipelined_cycles,
     pipelined_bus,
+    pipelined_cycles,
     standard_buses,
 )
 from .costs import BusOpCounts, CostSummary, summarize_costs
-from .network import NetworkModel, Topology, network_cost_model
+from .network import (
+    NetworkModel,
+    Topology,
+    network_characterization,
+    network_cost_model,
+)
 
 __all__ = [
     "TABLE5_CATEGORY",
@@ -19,11 +27,15 @@ __all__ = [
     "BusOp",
     "BusTiming",
     "Table5Category",
+    "UnknownBusOpError",
     "nonpipelined_bus",
+    "nonpipelined_cycles",
     "pipelined_bus",
+    "pipelined_cycles",
     "standard_buses",
     "NetworkModel",
     "Topology",
+    "network_characterization",
     "network_cost_model",
     "BusOpCounts",
     "CostSummary",

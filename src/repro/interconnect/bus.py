@@ -24,13 +24,22 @@ conventions from Section 4.3 that the models encode:
 * a broadcast invalidate is assumed to take 1 cycle like a directed one for
   the headline comparison (Section 4.3); the Section 6 models make its cost
   ``b`` a parameter.
+
+The numbers themselves live in versioned characterization files (see
+:mod:`repro.characterization` and ``docs/characterization.md``):
+:func:`pipelined_bus` and :func:`nonpipelined_bus` with default arguments
+load the bundled ``pipelined`` / ``non-pipelined`` characterizations — which
+also carry per-op energy — while non-default arguments fall back to the
+parametric derivations :func:`pipelined_cycles` / :func:`nonpipelined_cycles`
+(``tools/validate_characterization.py`` asserts the bundled files and the
+derivations agree bit-for-bit).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..trace.record import WORDS_PER_BLOCK
 
@@ -38,8 +47,11 @@ __all__ = [
     "BusOp",
     "BusTiming",
     "BusCostModel",
+    "UnknownBusOpError",
     "pipelined_bus",
+    "pipelined_cycles",
     "nonpipelined_bus",
+    "nonpipelined_cycles",
     "standard_buses",
     "TABLE5_CATEGORY",
     "Table5Category",
@@ -120,55 +132,108 @@ class BusTiming:
         }
 
 
+class UnknownBusOpError(ValueError):
+    """A cost model was asked to price a bus op it does not characterize.
+
+    Raised instead of a bare ``KeyError`` so the message can name the op,
+    the model, and the ops the model does know — a protocol emitting an op
+    a (possibly user-supplied) characterization lacks is a configuration
+    error the user must be able to diagnose from one line.  The CLI maps it
+    to a clean exit code 2.
+    """
+
+    def __init__(self, model: str, op: BusOp, known: Mapping[BusOp, float]):
+        self.model = model
+        self.op = op
+        self.known_ops = tuple(sorted(o.value for o in known))
+        super().__init__(
+            f"bus cost model {model!r} has no cost for op {op.value!r}; "
+            f"known ops: {', '.join(self.known_ops) or '(none)'}"
+        )
+
+
 @dataclass(frozen=True)
 class BusCostModel:
-    """Cycle cost of each primitive bus op for one bus organisation."""
+    """Cycle (and optionally energy) cost of each primitive bus op.
+
+    ``energy_nj`` maps ops to energy in nanojoules; it is empty for purely
+    cycle-accurate models (parametric derivations, Section 6 network
+    models) and populated when the model comes from a characterization file
+    with an ``[energy_nj]`` section.
+    """
 
     name: str
     cycles: Mapping[BusOp, float]
     timing: BusTiming = field(default_factory=BusTiming)
+    energy_nj: Mapping[BusOp, float] = field(default_factory=dict)
 
     def cost_of(self, op: BusOp) -> float:
-        return self.cycles[op]
+        try:
+            return self.cycles[op]
+        except KeyError:
+            raise UnknownBusOpError(self.name, op, self.cycles) from None
+
+    @property
+    def has_energy(self) -> bool:
+        """Whether this model carries the energy axis."""
+        return bool(self.energy_nj)
+
+    def energy_of(self, op: BusOp) -> float:
+        """Energy of one occurrence of ``op`` in nanojoules."""
+        try:
+            return self.energy_nj[op]
+        except KeyError:
+            raise UnknownBusOpError(
+                f"{self.name} (energy axis)", op, self.energy_nj
+            ) from None
 
     def total_cycles(self, op_counts: Mapping[BusOp, float]) -> float:
         """Weight op counts by this model's costs."""
-        return sum(self.cycles[op] * count for op, count in op_counts.items())
+        return sum(self.cost_of(op) * count for op, count in op_counts.items())
+
+    def total_energy_nj(self, op_counts: Mapping[BusOp, float]) -> float:
+        """Weight op counts by this model's per-op energy."""
+        return sum(
+            self.energy_of(op) * count for op, count in op_counts.items()
+        )
 
     def with_broadcast_cost(self, b: float) -> "BusCostModel":
         """A copy where a broadcast invalidate costs ``b`` cycles (Section 6)."""
         cycles = dict(self.cycles)
         cycles[BusOp.BROADCAST_INVALIDATE] = b
         return BusCostModel(
-            name=f"{self.name} (b={b:g})", cycles=cycles, timing=self.timing
+            name=f"{self.name} (b={b:g})",
+            cycles=cycles,
+            timing=self.timing,
+            energy_nj=self.energy_nj,
         )
 
     def table2_rows(self) -> Dict[str, float]:
         """This model's column of the paper's Table 2 cost summary."""
         return {
-            "Memory access": self.cycles[BusOp.MEM_ACCESS],
-            "Cache access": self.cycles[BusOp.FLUSH_REQUEST]
-            + self.cycles[BusOp.WRITE_BACK],
-            "Write-back": self.cycles[BusOp.WRITE_BACK],
-            "Write-through / update": self.cycles[BusOp.WRITE_THROUGH],
-            "Directory check": self.cycles[BusOp.DIR_CHECK],
-            "Invalidate": self.cycles[BusOp.INVALIDATE],
+            "Memory access": self.cost_of(BusOp.MEM_ACCESS),
+            "Cache access": self.cost_of(BusOp.FLUSH_REQUEST)
+            + self.cost_of(BusOp.WRITE_BACK),
+            "Write-back": self.cost_of(BusOp.WRITE_BACK),
+            "Write-through / update": self.cost_of(BusOp.WRITE_THROUGH),
+            "Directory check": self.cost_of(BusOp.DIR_CHECK),
+            "Invalidate": self.cost_of(BusOp.INVALIDATE),
         }
 
 
-def pipelined_bus(
+def pipelined_cycles(
     timing: BusTiming = BusTiming(),
     words_per_block: int = WORDS_PER_BLOCK,
     broadcast_cycles: float = 1.0,
-) -> BusCostModel:
-    """The sophisticated bus: separate address/data paths, not held on waits.
+) -> Dict[BusOp, float]:
+    """Derive the pipelined bus's per-op cycle costs from Table 1 timings.
 
     Memory access: 1 address cycle + one cycle per data word.  Directory
     checks cost one address cycle when standalone and nothing when overlapped
     with a memory access.  Write-throughs and updates are single cycles.
     """
     data = timing.transfer_word * words_per_block
-    cycles = {
+    return {
         BusOp.MEM_ACCESS: 1 + data,
         BusOp.CACHE_SUPPLY: 1 + data,
         BusOp.FLUSH_REQUEST: 1,
@@ -181,15 +246,14 @@ def pipelined_bus(
         BusOp.DIR_CHECK_OVERLAPPED: 0,
         BusOp.SINGLE_BIT_UPDATE: 1,
     }
-    return BusCostModel(name="pipelined", cycles=cycles, timing=timing)
 
 
-def nonpipelined_bus(
+def nonpipelined_cycles(
     timing: BusTiming = BusTiming(),
     words_per_block: int = WORDS_PER_BLOCK,
     broadcast_cycles: float = 1.0,
-) -> BusCostModel:
-    """The simple bus: multiplexed address/data, held during access waits.
+) -> Dict[BusOp, float]:
+    """Derive the non-pipelined bus's per-op cycle costs from Table 1.
 
     Memory access: 1 + wait-for-memory + data transfer = 7 cycles; a remote
     cache access waits one cycle less (6).  A standalone directory check is
@@ -197,7 +261,7 @@ def nonpipelined_bus(
     cycle plus a data cycle (2).
     """
     data = timing.transfer_word * words_per_block
-    cycles = {
+    return {
         BusOp.MEM_ACCESS: 1 + timing.wait_for_memory + data,
         BusOp.CACHE_SUPPLY: 1 + timing.wait_for_cache + data,
         BusOp.FLUSH_REQUEST: 1 + timing.wait_for_cache,
@@ -210,7 +274,63 @@ def nonpipelined_bus(
         BusOp.DIR_CHECK_OVERLAPPED: 0,
         BusOp.SINGLE_BIT_UPDATE: 1,
     }
-    return BusCostModel(name="non-pipelined", cycles=cycles, timing=timing)
+
+
+def _is_default(
+    timing: Optional[BusTiming], words_per_block: int, broadcast_cycles: float
+) -> bool:
+    return (
+        timing is None
+        and words_per_block == WORDS_PER_BLOCK
+        and broadcast_cycles == 1.0
+    )
+
+
+def pipelined_bus(
+    timing: Optional[BusTiming] = None,
+    words_per_block: int = WORDS_PER_BLOCK,
+    broadcast_cycles: float = 1.0,
+) -> BusCostModel:
+    """The sophisticated bus: separate address/data paths, not held on waits.
+
+    With default arguments this loads the bundled ``pipelined``
+    characterization file (cycle costs *and* per-op energy); non-default
+    arguments derive the cycles parametrically via
+    :func:`pipelined_cycles` — bit-identical for the paper's defaults.
+    """
+    if _is_default(timing, words_per_block, broadcast_cycles):
+        from ..characterization import builtin_bus_model
+
+        return builtin_bus_model("pipelined")
+    timing = BusTiming() if timing is None else timing
+    return BusCostModel(
+        name="pipelined",
+        cycles=pipelined_cycles(timing, words_per_block, broadcast_cycles),
+        timing=timing,
+    )
+
+
+def nonpipelined_bus(
+    timing: Optional[BusTiming] = None,
+    words_per_block: int = WORDS_PER_BLOCK,
+    broadcast_cycles: float = 1.0,
+) -> BusCostModel:
+    """The simple bus: multiplexed address/data, held during access waits.
+
+    With default arguments this loads the bundled ``non-pipelined``
+    characterization file; non-default arguments derive the cycles
+    parametrically via :func:`nonpipelined_cycles`.
+    """
+    if _is_default(timing, words_per_block, broadcast_cycles):
+        from ..characterization import builtin_bus_model
+
+        return builtin_bus_model("non-pipelined")
+    timing = BusTiming() if timing is None else timing
+    return BusCostModel(
+        name="non-pipelined",
+        cycles=nonpipelined_cycles(timing, words_per_block, broadcast_cycles),
+        timing=timing,
+    )
 
 
 def standard_buses() -> Dict[str, BusCostModel]:

@@ -18,7 +18,7 @@ category, with the Section 5.1 fixed-overhead model available via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from .bus import TABLE5_CATEGORY, BusCostModel, BusOp, Table5Category
 
@@ -73,6 +73,9 @@ class CostSummary:
     cycles_per_reference: float
     by_category: Mapping[Table5Category, float]
     transactions_per_reference: float
+    #: nanojoules per memory reference; ``None`` when the bus model carries
+    #: no energy axis (parametric derivations, Section 6 network models)
+    energy_per_reference: Optional[float] = None
 
     @property
     def cycles_per_transaction(self) -> float:
@@ -118,10 +121,14 @@ def summarize_costs(
         category: cycles / counts.references
         for category, cycles in by_category.items()
     }
+    energy: Optional[float] = None
+    if bus.has_energy:
+        energy = bus.total_energy_nj(counts.ops) / counts.references
     return CostSummary(
         protocol=protocol,
         bus=bus.name,
         cycles_per_reference=sum(per_ref.values()),
         by_category=per_ref,
         transactions_per_reference=counts.transactions_per_reference,
+        energy_per_reference=energy,
     )

@@ -35,7 +35,12 @@ from dataclasses import dataclass
 from ..trace.record import WORDS_PER_BLOCK
 from .bus import BusCostModel, BusOp
 
-__all__ = ["Topology", "NetworkModel", "network_cost_model"]
+__all__ = [
+    "Topology",
+    "NetworkModel",
+    "network_cost_model",
+    "network_characterization",
+]
 
 
 class Topology(enum.Enum):
@@ -144,3 +149,28 @@ def network_cost_model(
         BusOp.SINGLE_BIT_UPDATE: control,
     }
     return BusCostModel(name=network.name, cycles=cycles)
+
+
+def network_characterization(
+    network: NetworkModel,
+    words_per_block: int = WORDS_PER_BLOCK,
+    version: str = "1",
+):
+    """Capture a network's derived cost model as a characterization.
+
+    The result can be :meth:`~repro.characterization.Characterization.save`-d
+    to a TOML file and from then on swept like any other characterization —
+    the code-derived Section 6 what-ifs become ordinary data files.
+    """
+    # Imported lazily: repro.characterization imports interconnect.bus, so a
+    # module-level import here would cycle during package initialisation.
+    from ..characterization import Characterization
+
+    return Characterization.from_bus_model(
+        network_cost_model(network, words_per_block),
+        version=version,
+        description=(
+            f"derived from the {network.topology.value} network model, "
+            f"n_nodes={network.n_nodes}, per_hop_cycles={network.per_hop_cycles:g}"
+        ),
+    )

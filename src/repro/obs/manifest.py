@@ -1,9 +1,11 @@
 """Run manifests: provenance for every simulation result.
 
 A :class:`RunManifest` records everything needed to reconstruct *how* a
-result was produced — the fully resolved spec, the package and cache-schema
-versions, the cache key the result is stored under, and the execution
-environment (hostname, platform, worker pid, wall time, peak RSS).  The
+result was produced — the fully resolved spec (including, via
+``RunSpec.as_dict()``, the hardware characterization and its content hash
+when the pricing axis is set), the package and cache-schema versions, the
+cache key the result is stored under, and the execution environment
+(hostname, platform, worker pid, wall time, peak RSS).  The
 sweep runner attaches one to every executed cell
 (:attr:`~repro.runner.sweep.RunOutcome.manifest`), and the result cache
 serialises it as ``<key>.manifest.json`` next to the pickled result, so a

@@ -3,10 +3,12 @@
 A :class:`MetricsRegistry` is a named collection of instruments that any
 layer can tally into and any consumer can snapshot as plain JSON-able data
 (:meth:`MetricsRegistry.as_dict`, ``--metrics-json`` in the CLI).  The
-sweep runner keeps one registry per sweep so reports are self-contained;
-the result cache defaults to the process-wide registry
-(:func:`get_registry`) so corruption events are visible no matter which
-sweep tripped them.
+sweep runner keeps one registry per sweep so reports are self-contained —
+including the cost-accounting split between ``sweep.simulated`` and
+``sweep.repriced`` (cells served by re-weighting another cell's counters
+under a different hardware characterization); the result cache defaults to
+the process-wide registry (:func:`get_registry`) so corruption events are
+visible no matter which sweep tripped them.
 
 Instruments are deliberately tiny pure-Python objects — a counter is one
 integer — so tallying in hot-ish paths (per sweep cell, per cache lookup)

@@ -3,6 +3,12 @@
 Results are pickled one file per cache key under a directory the caller
 chooses.  The key (see :meth:`repro.runner.spec.RunSpec.cache_key`) hashes
 everything that determines the result, so a hit can be replayed verbatim.
+Specs carrying a ``characterization`` are additionally stored by the sweep
+engine under their :meth:`~repro.runner.spec.RunSpec.base_cache_key` — the
+key with the pricing axis cleared — because the simulated counters do not
+depend on pricing; that second entry is what lets a sweep over brand-new
+characterization files complete with zero simulations (re-pricing, see
+``docs/characterization.md``).
 A *missing* entry is an ordinary miss; an entry that exists but cannot be
 decoded — truncated file, stale pickle, wrong type — is **corrupt**: it is
 logged as a structured warning, counted in the ``cache.corrupt`` metric,

@@ -2,8 +2,8 @@
 
 A :class:`RunSpec` names everything that determines a simulation's outcome —
 protocol, trace, scale, seed, cache count, block size, cache geometry,
-sharing model — and nothing that doesn't (worker count, cache directory,
-progress hooks).  Two consequences fall out of that discipline:
+sharing model, hardware characterization — and nothing that doesn't (worker
+count, cache directory, progress hooks).  Two consequences fall out of that discipline:
 
 * a spec can be shipped to a worker process and executed there with no
   shared state, and
@@ -22,11 +22,13 @@ plain upgrades both retire stale caches — results pickled by an older
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from .._version import __version__ as PACKAGE_VERSION
+from ..characterization import Characterization, load_characterization
 from ..core.simulator import BACKENDS, SimulationResult, simulate
+from ..interconnect.bus import BusCostModel, pipelined_bus
 from ..memory.cache import CacheGeometry
 from ..protocols.base import CoherenceProtocol
 from ..protocols.registry import (
@@ -51,7 +53,9 @@ __all__ = [
 #: Bump when counting semantics or the result format change, so previously
 #: cached results stop matching.  (The package version is folded into the
 #: key as well, so releases retire caches even without a schema bump.)
-CACHE_SCHEMA_VERSION = 2
+#: v3: the key grew a ``characterization=`` token (the content hash of the
+#: spec's hardware characterization file, or ``none``).
+CACHE_SCHEMA_VERSION = 3
 
 #: Spec-string spellings of the paper's infinite caches.
 INFINITE_GEOMETRY = "inf"
@@ -88,6 +92,15 @@ class RunSpec:
     simulation engine (``"reference"`` or ``"fast"``); the backends are
     counter-identical, but the cache key still embeds the backend so a
     regression in one can never serve cached results to the other.
+
+    ``characterization`` names a hardware characterization (a bundled name
+    like ``"pipelined"`` or a TOML/CSV path; see
+    :mod:`repro.characterization`).  It is a *pricing* axis: simulated
+    counters never depend on it, so the cache key embeds the file's
+    **content hash** (keys change exactly when the file's content changes)
+    while :meth:`base_cache_key` — the key with the axis cleared — stays
+    shared across characterizations, which is what lets the sweep re-price
+    one simulation under k hardware models.
     """
 
     protocol: str
@@ -99,6 +112,7 @@ class RunSpec:
     seed: Optional[int] = None
     geometry: Optional[str] = None
     backend: str = "reference"
+    characterization: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocol", self.protocol.lower())
@@ -119,6 +133,15 @@ class RunSpec:
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
         object.__setattr__(self, "geometry", normalize_geometry(self.geometry))
+        if self.characterization is not None:
+            # Fail fast (CharacterizationError is a ValueError) and pin the
+            # content hash at construction, so a file edited mid-sweep cannot
+            # smear two contents across one grid.
+            object.__setattr__(
+                self,
+                "_characterization_hash",
+                load_characterization(self.characterization).content_hash(),
+            )
 
     # -- construction of the pieces -----------------------------------------
 
@@ -138,7 +161,33 @@ class RunSpec:
             return None
         return CacheGeometry.parse(self.geometry)
 
+    def load_characterization(self) -> Optional[Characterization]:
+        """The spec's hardware characterization, or ``None`` when unset."""
+        if self.characterization is None:
+            return None
+        return load_characterization(self.characterization)
+
+    def bus_model(self) -> BusCostModel:
+        """The cost model this cell is priced under (pipelined default)."""
+        loaded = self.load_characterization()
+        return pipelined_bus() if loaded is None else loaded.bus_model()
+
     # -- identity ------------------------------------------------------------
+
+    def characterization_hash(self) -> Optional[str]:
+        """Content hash of the characterization, pinned at construction."""
+        return getattr(self, "_characterization_hash", None)
+
+    def base_spec(self) -> "RunSpec":
+        """This spec with the pricing axis cleared.
+
+        Two specs with the same base spec simulate identical counters — the
+        paper's Section 4.1 frequency/cost independence — so the sweep
+        engine simulates one and re-prices the rest.
+        """
+        if self.characterization is None:
+            return self
+        return replace(self, characterization=None)
 
     def as_dict(self) -> dict:
         """The spec as plain JSON-able data (manifests, ``--metrics-json``)."""
@@ -152,6 +201,8 @@ class RunSpec:
             "seed": self.seed,
             "geometry": self.geometry or INFINITE_GEOMETRY,
             "backend": self.backend,
+            "characterization": self.characterization,
+            "characterization_hash": self.characterization_hash(),
         }
 
     def cell_id(self) -> str:
@@ -170,9 +221,8 @@ class RunSpec:
             f":{self.sharing_model.value}:seed{seed}"
         )
 
-    def cache_key(self) -> str:
-        """Stable content hash identifying this spec's result on disk."""
-        token = "|".join(
+    def _cache_token(self, characterization_hash: Optional[str]) -> str:
+        return "|".join(
             (
                 f"version={PACKAGE_VERSION}",
                 f"schema={CACHE_SCHEMA_VERSION}",
@@ -182,9 +232,30 @@ class RunSpec:
                 f"geometry={self.geometry or INFINITE_GEOMETRY}",
                 f"sharing={self.sharing_model.value}",
                 f"backend={self.backend}",
+                f"characterization={characterization_hash or 'none'}",
                 f"profile={self.profile()!r}",
             )
         )
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this spec's result on disk.
+
+        The characterization axis contributes its file's *content hash*, so
+        renaming or moving a characterization file keeps cached results warm
+        while editing any value inside it retires them.
+        """
+        token = self._cache_token(self.characterization_hash())
+        return hashlib.sha256(token.encode("utf-8")).hexdigest()[:40]
+
+    def base_cache_key(self) -> str:
+        """The cache key with the pricing axis cleared (re-pricing identity).
+
+        Every characterization of the same simulation shares this key; the
+        sweep engine stores results under it (alongside the full key) so a
+        later sweep with a brand-new characterization file still costs zero
+        simulations.
+        """
+        token = self._cache_token(None)
         return hashlib.sha256(token.encode("utf-8")).hexdigest()[:40]
 
     # -- execution -----------------------------------------------------------
@@ -218,15 +289,20 @@ def sweep_grid(
     sharing_models: Sequence[SharingModel] = (SharingModel.PROCESS,),
     seeds: Sequence[Optional[int]] = (None,),
     backend: str = "reference",
+    characterizations: Sequence[Optional[str]] = (None,),
 ) -> List[RunSpec]:
     """The cross product of every sweep axis, in deterministic order.
 
     Axis order (outer to inner): protocol, trace, block size, geometry,
-    sharing model, seed — so results group by protocol the way the paper's
-    tables present them.
+    sharing model, seed, characterization — so results group by protocol
+    the way the paper's tables present them, and all pricings of one
+    simulation sit adjacent (they share a :meth:`RunSpec.base_cache_key`
+    and cost one simulation between them, see ``docs/characterization.md``).
     """
     if not protocols:
         raise ValueError("at least one protocol is required")
+    if not characterizations:
+        raise ValueError("at least one characterization (or None) is required")
     trace_names: Tuple[str, ...] = tuple(traces or standard_trace_names())
     return [
         RunSpec(
@@ -239,6 +315,7 @@ def sweep_grid(
             seed=seed,
             geometry=geometry,
             backend=backend,
+            characterization=characterization,
         )
         for protocol in protocols
         for trace in trace_names
@@ -246,4 +323,5 @@ def sweep_grid(
         for geometry in geometries
         for sharing_model in sharing_models
         for seed in seeds
+        for characterization in characterizations
     ]

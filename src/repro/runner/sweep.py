@@ -6,6 +6,17 @@ fanning the misses over worker processes (``jobs > 1``) or running them
 inline (``jobs == 1``) — and returns a :class:`SweepReport` carrying every
 result plus the throughput and cache metrics.
 
+Re-pricing (the paper's Section 4.1 method at sweep scale): cells whose
+specs differ only in the ``characterization`` pricing axis share a
+:meth:`~repro.runner.spec.RunSpec.base_cache_key` and therefore identical
+counters, so only one of them — the leader — simulates; the rest are served
+from its result, flagged :attr:`RunOutcome.repriced` and counted in the
+``sweep.repriced`` metric.  Sweeping k characterization files costs exactly
+one simulation per (protocol, trace, ...) configuration.  Results land in
+the cache under both the full key and the base key, so a *later* sweep with
+a brand-new characterization file re-prices from disk without simulating at
+all.  See ``docs/characterization.md``.
+
 Resilience (see ``docs/robustness.md``): cells execute one process per
 attempt through :class:`~repro.resilience.executor.CellExecutor`, so a
 cell that raises, hangs past ``cell_timeout`` (SIGKILLed by the parent) or
@@ -84,7 +95,7 @@ HEARTBEAT_SECONDS = 10.0
 
 @dataclass(frozen=True)
 class RunOutcome:
-    """One sweep cell: cache-served, executed, or failed."""
+    """One sweep cell: cache-served, executed, re-priced, or failed."""
 
     spec: RunSpec
     #: the simulated counters, or None when the cell failed
@@ -98,6 +109,10 @@ class RunOutcome:
     manifest: Optional[RunManifest] = None
     #: why the cell failed, across all attempts (None on success)
     error: Optional[RunError] = None
+    #: True when the counters were simulated for a sibling cell differing
+    #: only in characterization (same :meth:`RunSpec.base_cache_key`) —
+    #: this cell paid for pricing, not for a simulation
+    repriced: bool = False
 
     @property
     def ok(self) -> bool:
@@ -139,10 +154,22 @@ class SweepReport:
 
     @property
     def simulations(self) -> int:
-        """Cells actually simulated to completion this run (cache misses)."""
+        """Cells actually simulated to completion this run.
+
+        Excludes cache hits *and* re-priced cells — the paper's
+        one-run-many-models method means k characterizations of one
+        configuration count as one simulation here.
+        """
         return sum(
-            1 for outcome in self.outcomes if outcome.ok and not outcome.cached
+            1
+            for outcome in self.outcomes
+            if outcome.ok and not outcome.cached and not outcome.repriced
         )
+
+    @property
+    def repricings(self) -> int:
+        """Cells served by re-weighting another cell's counters."""
+        return sum(1 for outcome in self.outcomes if outcome.repriced)
 
     @property
     def cache_hits(self) -> int:
@@ -163,7 +190,7 @@ class SweepReport:
         return sum(
             outcome.result.references
             for outcome in self.successes
-            if not outcome.cached
+            if not outcome.cached and not outcome.repriced
         )
 
     @property
@@ -177,7 +204,7 @@ class SweepReport:
         """Per-worker (cells simulated, simulation seconds), keyed by pid."""
         timings: Dict[int, Tuple[int, float]] = {}
         for outcome in self.outcomes:
-            if outcome.cached or not outcome.ok:
+            if outcome.cached or outcome.repriced or not outcome.ok:
                 continue
             cells, seconds = timings.get(outcome.worker, (0, 0.0))
             timings[outcome.worker] = (cells + 1, seconds + outcome.elapsed)
@@ -258,6 +285,37 @@ class SweepReport:
                 )
         return "\n".join(lines)
 
+    def pricing_table(self) -> str:
+        """Per-cell pricing under each cell's own characterization.
+
+        The characterization-axis companion to :meth:`cell_table`: one row
+        per cell, priced by the cell's :meth:`~repro.runner.spec.RunSpec
+        .bus_model` (pipelined default when the axis is unset), with the
+        energy column shown for models that carry an ``[energy_nj]``
+        section.  Deterministic across jobs/cache/re-pricing paths.
+        """
+        header = (
+            f"{'protocol':<13}{'trace':<7}{'characterization':<24}"
+            f"{'refs':>10}{'cyc/ref':>12}{'nJ/ref':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for outcome in self.outcomes:
+            spec = outcome.spec
+            model = spec.characterization or "(default)"
+            prefix = f"{spec.protocol:<13}{spec.trace:<7}{model:<24}"
+            if not outcome.ok:
+                lines.append(prefix + f"{'-':>10}{'FAILED':>12}{'-':>12}")
+                continue
+            summary = outcome.result.cost_summary(spec.bus_model())
+            energy = summary.energy_per_reference
+            lines.append(
+                prefix
+                + f"{outcome.result.references:>10}"
+                f"{summary.cycles_per_reference:>12.6f}"
+                + (f"{energy:>12.4f}" if energy is not None else f"{'-':>12}")
+            )
+        return "\n".join(lines)
+
     def failure_table(self) -> str:
         """Deterministic failure summary: cell, kind, attempts, error."""
         failures = self.failures
@@ -278,8 +336,12 @@ class SweepReport:
 
     def render_metrics(self) -> str:
         """Human-readable throughput / cache metrics (non-deterministic)."""
+        repriced = (
+            f"{self.repricings} repriced, " if self.repricings else ""
+        )
         lines = [
             f"sweep: {self.cells} cells ({self.simulations} simulated, "
+            f"{repriced}"
             f"{self.cache_hits} cached, {len(self.failures)} failed) "
             f"in {self.wall_time:.2f}s wall, jobs={self.jobs}",
             f"refs: {self.total_references:,} total, "
@@ -299,6 +361,7 @@ class SweepReport:
         return {
             "cells": self.cells,
             "simulated": self.simulations,
+            "repriced": self.repricings,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "failures": [
@@ -397,6 +460,7 @@ def run_sweep(
     use_executor = not probed and (jobs > 1 or needs_processes)
 
     keys = [spec.cache_key() for spec in specs]
+    base_keys = [spec.base_cache_key() for spec in specs]
     cell_ids = [spec.cell_id() for spec in specs]
     register = getattr(cache, "register_cell", None)
     if register is not None:
@@ -439,6 +503,10 @@ def run_sweep(
 
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     pending: List[int] = []
+    #: leader index -> pending cells sharing its base_cache_key, which will
+    #: be served by re-pricing the leader's counters (Section 4.1: event
+    #: frequencies are independent of hardware costs)
+    followers: Dict[int, List[int]] = {}
     done = 0
     failed_cells = 0
     last_beat = time.perf_counter()
@@ -479,6 +547,30 @@ def run_sweep(
                 cached=cached, attempts=attempts, elapsed=elapsed, error=error,
             )
 
+    def _reprice(index: int, result: SimulationResult, worker: int) -> None:
+        """Serve a pending cell from a sibling's freshly simulated counters."""
+        nonlocal done
+        manifest = collect_manifest(
+            specs[index].as_dict(), keys[index], 0.0, worker_pid=worker
+        )
+        outcome = RunOutcome(
+            spec=specs[index],
+            result=result,
+            cached=False,
+            elapsed=0.0,
+            worker=worker,
+            manifest=manifest,
+            repriced=True,
+        )
+        outcomes[index] = outcome
+        done += 1
+        registry.counter("sweep.repriced").inc()
+        if cache is not None:
+            cache.put(keys[index], result, manifest=manifest)
+        _journal_cell(index, "ok")
+        if progress is not None:
+            progress(outcome)
+
     def _complete(
         index: int,
         payload: Tuple[SimulationResult, float, int, RunManifest],
@@ -500,6 +592,11 @@ def run_sweep(
         registry.histogram("sweep.cell_seconds").observe(elapsed)
         if cache is not None:
             cache.put(keys[index], result, manifest=manifest)
+            if base_keys[index] != keys[index]:
+                # Also store under the characterization-free identity, so a
+                # future sweep with a brand-new characterization file can
+                # re-price this simulation instead of re-running it.
+                cache.put(base_keys[index], result, manifest=manifest)
         _journal_cell(index, "ok", attempts=attempt, elapsed=elapsed)
         logger.debug(
             "cell simulated",
@@ -513,24 +610,26 @@ def run_sweep(
         )
         if progress is not None:
             progress(outcome)
+        for follower in followers.get(index, ()):
+            _reprice(follower, result, worker)
         _heartbeat()
         if faults is not None and faults.should_interrupt(
             cell_ids[index], attempt
         ):
             raise KeyboardInterrupt  # injected SIGINT (fault harness)
 
-    def _fail(index: int, error: RunError) -> None:
+    def _fail_one(index: int, error: RunError, elapsed: float) -> None:
         nonlocal done, failed_cells
         spec = specs[index]
         manifest = collect_manifest(
-            spec.as_dict(), keys[index], error.elapsed,
+            spec.as_dict(), keys[index], elapsed,
             worker_pid=error.worker, error=error.to_dict(),
         )
         outcome = RunOutcome(
             spec=spec,
             result=None,
             cached=False,
-            elapsed=error.elapsed,
+            elapsed=elapsed,
             worker=error.worker,
             manifest=manifest,
             error=error,
@@ -541,7 +640,7 @@ def run_sweep(
         registry.counter("sweep.failures").inc()
         _journal_cell(
             index, "failed",
-            attempts=error.attempts, elapsed=error.elapsed, error=error,
+            attempts=error.attempts, elapsed=elapsed, error=error,
         )
         logger.error(
             "cell failed",
@@ -553,6 +652,12 @@ def run_sweep(
         )
         if progress is not None:
             progress(outcome)
+
+    def _fail(index: int, error: RunError) -> None:
+        _fail_one(index, error, error.elapsed)
+        # Cells waiting to be re-priced from this simulation fail with it.
+        for follower in followers.get(index, ()):
+            _fail_one(follower, error, 0.0)
         _heartbeat()
         if not keep_going:
             raise CellFailure(cell_ids[index], error)
@@ -602,14 +707,35 @@ def run_sweep(
         nonlocal done
         for index, spec in enumerate(specs):
             cached_result = cache.get(keys[index]) if cache is not None else None
+            via_base = False
+            if (
+                cached_result is None
+                and cache is not None
+                and base_keys[index] != keys[index]
+            ):
+                # Re-pricing across sweeps: the exact pricing is cold, but
+                # the characterization-free simulation is warm — serve it
+                # (the counters are identical by construction) and write it
+                # back under the full key so next time is a direct hit.
+                cached_result = cache.get(base_keys[index])
+                via_base = cached_result is not None
             if cached_result is not None:
+                if via_base:
+                    manifest = collect_manifest(
+                        spec.as_dict(), keys[index], 0.0
+                    )
+                    cache.put(keys[index], cached_result, manifest=manifest)
+                    registry.counter("sweep.repriced").inc()
+                else:
+                    manifest = cache.get_manifest(keys[index])
                 outcome = RunOutcome(
                     spec=spec,
                     result=cached_result,
                     cached=True,
                     elapsed=0.0,
                     worker=os.getpid(),
-                    manifest=cache.get_manifest(keys[index]),
+                    manifest=manifest,
+                    repriced=via_base,
                 )
                 outcomes[index] = outcome
                 done += 1
@@ -625,6 +751,37 @@ def run_sweep(
                         extra=fields(cell=cell_ids[index]),
                     )
                 pending.append(index)
+
+    def _group_repricing() -> None:
+        """Collapse pending cells sharing a simulation onto one leader.
+
+        Cells whose specs differ only in ``characterization`` share a
+        :meth:`~repro.runner.spec.RunSpec.base_cache_key` and, by the
+        paper's Section 4.1 argument, identical counters — so only the
+        first (the leader) simulates and the rest are re-priced from its
+        result.  Probed sweeps skip this: a probe streams the cell's own
+        per-reference events, so every cell must actually run.
+        """
+        if probed:
+            return
+        leaders: Dict[str, int] = {}
+        kept: List[int] = []
+        for index in pending:
+            leader = leaders.get(base_keys[index])
+            if leader is None:
+                leaders[base_keys[index]] = index
+                kept.append(index)
+            else:
+                followers.setdefault(leader, []).append(index)
+        if followers:
+            pending[:] = kept
+            logger.info(
+                "re-pricing collapsed sweep cells",
+                extra=fields(
+                    simulate=len(kept),
+                    repriced=sum(len(cells) for cells in followers.values()),
+                ),
+            )
 
     def _run_inline() -> None:
         for index in pending:
@@ -694,6 +851,7 @@ def run_sweep(
     try:
         with wall.time():
             _scan_cache()
+            _group_repricing()
             if pending:
                 if use_executor:
                     _run_executor()

@@ -1,0 +1,560 @@
+"""Tests for the versioned hardware characterization layer.
+
+Covers the loader (bundled names, TOML and CSV paths, both parsers), the
+schema (validation errors, content hashing), the energy axis, the RunSpec
+characterization axis and its cache-key discipline, re-pricing in the sweep
+engine, the network-model round trip, and the ``models`` CLI verb.
+"""
+
+import pytest
+
+from repro.characterization import (
+    BUILTIN_CHARACTERIZATIONS,
+    Characterization,
+    CharacterizationError,
+    builtin_bus_model,
+    builtin_characterization,
+    builtin_names,
+    load_characterization,
+)
+from repro.characterization.loader import _parse_toml_subset
+from repro.cli import main
+from repro.interconnect.bus import (
+    BusCostModel,
+    BusOp,
+    UnknownBusOpError,
+    nonpipelined_bus,
+    nonpipelined_cycles,
+    pipelined_bus,
+    pipelined_cycles,
+)
+from repro.interconnect.costs import summarize_costs
+from repro.interconnect.network import (
+    NetworkModel,
+    Topology,
+    network_characterization,
+    network_cost_model,
+)
+from repro.runner import ResultCache, RunSpec, run_sweep, sweep_grid
+
+#: Tiny traces so the whole module stays fast.
+SCALE = 1.0 / 1024.0
+
+
+class TestLoader:
+    def test_builtin_names_are_bundled_files(self):
+        assert builtin_names() == ("pipelined", "non-pipelined")
+        for path in BUILTIN_CHARACTERIZATIONS.values():
+            assert path.exists()
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("pipelined", "pipelined"),
+            ("non-pipelined", "non-pipelined"),
+            ("nonpipelined", "non-pipelined"),
+            ("non_pipelined", "non-pipelined"),
+            ("  Pipelined ", "pipelined"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        assert load_characterization(alias).name == canonical
+
+    def test_unknown_name_error_lists_bundled_names(self):
+        with pytest.raises(CharacterizationError) as excinfo:
+            load_characterization("warp-drive")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        assert "pipelined" in message and "non-pipelined" in message
+
+    def test_load_by_explicit_path(self):
+        by_name = builtin_characterization("pipelined")
+        by_path = load_characterization(BUILTIN_CHARACTERIZATIONS["pipelined"])
+        assert by_path.content_hash() == by_name.content_hash()
+
+    def test_subset_parser_agrees_with_bundled_files(self):
+        """The 3.10 fallback parser reads the bundled files identically."""
+        for name, path in BUILTIN_CHARACTERIZATIONS.items():
+            payload = _parse_toml_subset(path.read_text(encoding="utf-8"), name)
+            parsed = Characterization.from_payload(payload, source=name)
+            assert parsed.content_hash() == load_characterization(name).content_hash()
+
+    def test_csv_round_trip(self, tmp_path):
+        """The ESL-style sectioned CSV spelling loads to the same content."""
+        import csv
+
+        reference = builtin_characterization("pipelined")
+        path = tmp_path / "pipelined.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            for section, entries in reference.payload().items():
+                writer.writerow([f"# {section}"])
+                for key, value in entries.items():
+                    writer.writerow([key, value])
+        loaded = load_characterization(path)
+        assert loaded.content_hash() == reference.content_hash()
+
+    def test_edited_file_is_reloaded(self, tmp_path):
+        """The mtime/size memo must not serve stale content after an edit."""
+        import os
+
+        path = tmp_path / "model.toml"
+        builtin_characterization("pipelined").save(path)
+        first = load_characterization(path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace('version = "1"', 'version = "2"'))
+        # Force a different stamp even on coarse-mtime filesystems.
+        os.utime(path, ns=(1, 1))
+        second = load_characterization(path)
+        assert first.version == "1" and second.version == "2"
+        assert first.content_hash() != second.content_hash()
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            (lambda p: p.pop("cycles"), "cycles"),
+            (lambda p: p.pop("model"), "model"),
+            (lambda p: p["model"].pop("version"), "version"),
+            (lambda p: p["model"].__setitem__("schema", 99), "schema"),
+            (lambda p: p["cycles"].__setitem__("warp", 1), "unknown bus op"),
+            (lambda p: p["cycles"].__setitem__("mem_access", -1), "non-negative"),
+            (lambda p: p["table1"].__setitem__("warp_core", 1), "unknown timings"),
+            (lambda p: p.__setitem__("extra", {}), "unknown sections"),
+        ],
+    )
+    def test_schema_validation_errors(self, mutation, match):
+        payload = {
+            section: dict(entries)
+            for section, entries in builtin_characterization("pipelined")
+            .payload()
+            .items()
+        }
+        mutation(payload)
+        with pytest.raises(CharacterizationError, match=match):
+            Characterization.from_payload(payload)
+
+    def test_parse_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("[model]\nname\n", encoding="utf-8")
+        with pytest.raises(CharacterizationError, match="broken.toml"):
+            load_characterization(path)
+
+
+class TestBitIdentity:
+    """The bundled data files reproduce the parametric Table 2 derivations."""
+
+    @pytest.mark.parametrize(
+        "name, derive, factory",
+        [
+            ("pipelined", pipelined_cycles, pipelined_bus),
+            ("non-pipelined", nonpipelined_cycles, nonpipelined_bus),
+        ],
+    )
+    def test_bundled_file_matches_derivation(self, name, derive, factory):
+        loaded = builtin_bus_model(name)
+        derived = derive()
+        for op in BusOp:
+            assert loaded.cost_of(op) == derived[op], op
+        # And the default factories serve exactly the bundled data.
+        assert factory().table2_rows() == loaded.table2_rows()
+
+    def test_table2_golden_values(self):
+        pipe = builtin_characterization("pipelined").table2_rows()
+        nonpipe = builtin_characterization("non-pipelined").table2_rows()
+        assert pipe == {
+            "Memory access": 5,
+            "Cache access": 5,
+            "Write-back": 4,
+            "Write-through / update": 1,
+            "Directory check": 1,
+            "Invalidate": 1,
+        }
+        assert nonpipe == {
+            "Memory access": 7,
+            "Cache access": 6,
+            "Write-back": 4,
+            "Write-through / update": 2,
+            "Directory check": 3,
+            "Invalidate": 1,
+        }
+
+
+class TestContentHash:
+    def test_save_round_trips_hash(self, tmp_path):
+        original = builtin_characterization("pipelined")
+        path = original.save(tmp_path / "copy.toml")
+        reloaded = load_characterization(path)
+        assert reloaded.content_hash() == original.content_hash()
+        assert reloaded.payload() == original.payload()
+
+    def test_hash_ignores_source_and_formatting(self, tmp_path):
+        original = builtin_characterization("pipelined")
+        text = BUILTIN_CHARACTERIZATIONS["pipelined"].read_text(encoding="utf-8")
+        path = tmp_path / "renamed-and-reformatted.toml"
+        path.write_text("# a new comment\n" + text, encoding="utf-8")
+        assert load_characterization(path).content_hash() == original.content_hash()
+
+    def test_hash_changes_when_a_value_changes(self, tmp_path):
+        original = builtin_characterization("pipelined")
+        path = tmp_path / "tweaked.toml"
+        text = BUILTIN_CHARACTERIZATIONS["pipelined"].read_text(encoding="utf-8")
+        path.write_text(text.replace("mem_access = 5", "mem_access = 6"))
+        assert load_characterization(path).content_hash() != original.content_hash()
+
+    def test_integer_and_float_spellings_hash_alike(self, tmp_path):
+        original = builtin_characterization("pipelined")
+        path = tmp_path / "floats.toml"
+        text = BUILTIN_CHARACTERIZATIONS["pipelined"].read_text(encoding="utf-8")
+        path.write_text(text.replace("mem_access = 5", "mem_access = 5.0"))
+        assert load_characterization(path).content_hash() == original.content_hash()
+
+
+class TestEnergyAxis:
+    def test_bundled_models_carry_energy(self):
+        for name in builtin_names():
+            model = builtin_bus_model(name)
+            assert model.has_energy
+            for op in BusOp:
+                assert model.energy_of(op) >= 0
+
+    def test_summarize_costs_surfaces_energy(self):
+        spec = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE)
+        result = spec.run()
+        summary = summarize_costs(
+            "dir0b", result.counters.ops, pipelined_bus()
+        )
+        assert summary.energy_per_reference is not None
+        assert summary.energy_per_reference > 0
+        # Hand-computed: sum(count * nJ) / references.
+        bus = pipelined_bus()
+        expected = (
+            sum(
+                count * bus.energy_of(op)
+                for op, count in result.counters.ops.ops.items()
+            )
+            / result.references
+        )
+        assert summary.energy_per_reference == pytest.approx(expected)
+        assert result.energy_per_reference(bus) == summary.energy_per_reference
+
+    def test_parametric_bus_prices_no_energy(self):
+        bare = BusCostModel(name="bare", cycles=pipelined_cycles())
+        assert not bare.has_energy
+        spec = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE)
+        result = spec.run()
+        assert result.energy_per_reference(bare) is None
+
+    def test_unknown_op_error_names_op_model_and_known_ops(self):
+        partial = BusCostModel(
+            name="partial", cycles={BusOp.MEM_ACCESS: 5.0}
+        )
+        with pytest.raises(UnknownBusOpError) as excinfo:
+            partial.cost_of(BusOp.WRITE_BACK)
+        message = str(excinfo.value)
+        assert "write_back" in message
+        assert "partial" in message
+        assert "mem_access" in message
+        assert isinstance(excinfo.value, ValueError)
+
+
+class TestEnergyAnalysis:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        from repro.core.comparison import run_standard_comparison
+
+        return run_standard_comparison(["dir0b", "dir1nb"], scale=SCALE)
+
+    def test_energy_table(self, comparison):
+        from repro.analysis import energy_table
+
+        table = energy_table(comparison)
+        rendered = table.render()
+        assert "nJ/ref" in rendered
+        for scheme in ("dir0b", "dir1nb"):
+            assert table.value(scheme) > 0
+
+    def test_energy_table_rejects_energyless_bus(self, comparison):
+        from repro.analysis import energy_table
+
+        bare = BusCostModel(name="bare", cycles=pipelined_cycles())
+        with pytest.raises(ValueError, match="no energy axis"):
+            energy_table(comparison, bus=bare)
+
+    def test_figure_energy(self, comparison):
+        from repro.analysis import figure_energy
+
+        series = figure_energy(comparison)
+        assert len(series) == 2
+        assert all(value > 0 for value in series.values())
+
+
+class TestNetworkRoundTrip:
+    def test_characterize_save_load_prices_identically(self, tmp_path):
+        network = NetworkModel(Topology.OMEGA, n_nodes=16)
+        derived = network_cost_model(network)
+        characterization = network_characterization(network)
+        path = characterization.save(tmp_path / "omega16.toml")
+        loaded = load_characterization(path)
+        assert loaded.name == "omega(16)"
+        assert "omega" in loaded.description
+        reloaded_bus = loaded.bus_model()
+        for op in BusOp:
+            assert reloaded_bus.cost_of(op) == derived.cost_of(op), op
+
+    def test_round_trip_through_summarize_costs(self, tmp_path):
+        network = NetworkModel(Topology.MESH2D, n_nodes=16)
+        path = network_characterization(network).save(tmp_path / "mesh.toml")
+        spec = RunSpec(protocol="dirnnb", trace="POPS", scale=SCALE)
+        result = spec.run()
+        direct = summarize_costs(
+            "dirnnb", result.counters.ops, network_cost_model(network)
+        )
+        via_file = summarize_costs(
+            "dirnnb", result.counters.ops, load_characterization(path).bus_model()
+        )
+        assert via_file.cycles_per_reference == direct.cycles_per_reference
+        assert via_file.by_category == direct.by_category
+        # Derived characterizations carry no energy axis unless given one.
+        assert via_file.energy_per_reference is None
+
+    def test_swept_as_a_data_file(self, tmp_path):
+        """A saved network characterization is an ordinary sweep axis value."""
+        path = network_characterization(
+            NetworkModel(Topology.CROSSBAR, n_nodes=4)
+        ).save(tmp_path / "xbar.toml")
+        spec = RunSpec(
+            protocol="dir1nb", trace="POPS", scale=SCALE,
+            characterization=str(path),
+        )
+        result = spec.run()
+        assert result.cycles_per_reference(spec.bus_model()) > 0
+
+
+class TestRunSpecAxis:
+    def test_default_is_pipelined(self):
+        spec = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE)
+        assert spec.characterization is None
+        assert spec.characterization_hash() is None
+        assert spec.bus_model().table2_rows() == pipelined_bus().table2_rows()
+
+    def test_unknown_characterization_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="warp-drive"):
+            RunSpec(
+                protocol="dir0b", trace="POPS", scale=SCALE,
+                characterization="warp-drive",
+            )
+
+    def test_hash_is_pinned_and_in_as_dict(self):
+        spec = RunSpec(
+            protocol="dir0b", trace="POPS", scale=SCALE,
+            characterization="non-pipelined",
+        )
+        expected = builtin_characterization("non-pipelined").content_hash()
+        assert spec.characterization_hash() == expected
+        payload = spec.as_dict()
+        assert payload["characterization"] == "non-pipelined"
+        assert payload["characterization_hash"] == expected
+
+    def test_cache_key_tracks_content_not_path(self, tmp_path):
+        """Identical content under two paths shares a key; edits change it."""
+        base = builtin_characterization("pipelined")
+        copy_a = base.save(tmp_path / "a.toml")
+        copy_b = base.save(tmp_path / "b.toml")
+
+        def key(source):
+            return RunSpec(
+                protocol="dir0b", trace="POPS", scale=SCALE,
+                characterization=str(source),
+            ).cache_key()
+
+        assert key(copy_a) == key(copy_b) == key("pipelined")
+        text = copy_a.read_text(encoding="utf-8")
+        copy_a.write_text(text.replace("mem_access = 5", "mem_access = 9"))
+        import os
+
+        os.utime(copy_a, ns=(1, 1))
+        assert key(copy_a) != key(copy_b)
+
+    def test_base_key_and_cell_id_ignore_characterization(self):
+        plain = RunSpec(protocol="dir0b", trace="POPS", scale=SCALE)
+        priced = RunSpec(
+            protocol="dir0b", trace="POPS", scale=SCALE,
+            characterization="non-pipelined",
+        )
+        assert plain.cache_key() != priced.cache_key()
+        assert plain.base_cache_key() == priced.base_cache_key()
+        assert plain.base_cache_key() == plain.cache_key()
+        assert plain.cell_id() == priced.cell_id()
+        assert priced.base_spec() == plain
+
+    def test_pickles_with_pinned_hash(self):
+        import pickle
+
+        spec = RunSpec(
+            protocol="dir0b", trace="POPS", scale=SCALE,
+            characterization="non-pipelined",
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.characterization_hash() == spec.characterization_hash()
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_sweep_grid_fans_out(self):
+        specs = sweep_grid(
+            ("dir0b",), traces=("POPS",), scale=SCALE,
+            characterizations=(None, "pipelined", "non-pipelined"),
+        )
+        assert [spec.characterization for spec in specs] == [
+            None, "pipelined", "non-pipelined",
+        ]
+        with pytest.raises(ValueError):
+            sweep_grid(("dir0b",), characterizations=())
+
+
+class TestRepricing:
+    def test_k_characterizations_cost_one_simulation_per_cell(self):
+        """Acceptance: the Section 4.1 method — simulate once, price k times."""
+        specs = sweep_grid(
+            ("dir0b", "dir1nb"), traces=("POPS",), scale=SCALE,
+            characterizations=(None, "pipelined", "non-pipelined"),
+        )
+        report = run_sweep(specs)
+        assert report.cells == 6
+        assert report.simulations == 2  # one per (protocol, trace)
+        assert report.repricings == 4
+        assert report.metrics_dict()["repriced"] == 4
+        assert not report.failures
+
+    def test_repriced_counters_are_bit_identical(self):
+        specs = sweep_grid(
+            ("dir0b",), traces=("POPS",), scale=SCALE,
+            characterizations=(None, "non-pipelined"),
+        )
+        report = run_sweep(specs)
+        leader, follower = report.outcomes
+        assert not leader.repriced and follower.repriced
+        assert leader.result.counters.events == follower.result.counters.events
+        assert leader.result.counters.ops.ops == follower.result.counters.ops.ops
+        # The follower's own pricing differs from the leader's default.
+        assert follower.result.cycles_per_reference(
+            follower.spec.bus_model()
+        ) != pytest.approx(
+            leader.result.cycles_per_reference(leader.spec.bus_model())
+        )
+
+    def test_repricing_matches_direct_simulation(self):
+        """Re-priced cells equal what a dedicated simulation would produce."""
+        specs = sweep_grid(
+            ("dir0b",), traces=("POPS",), scale=SCALE,
+            characterizations=("pipelined", "non-pipelined"),
+        )
+        report = run_sweep(specs)
+        direct = run_sweep(
+            sweep_grid(
+                ("dir0b",), traces=("POPS",), scale=SCALE,
+                characterizations=("non-pipelined",),
+            )
+        )
+        repriced = report.outcomes[1]
+        assert repriced.repriced
+        assert (
+            repriced.result.counters.ops.ops
+            == direct.outcomes[0].result.counters.ops.ops
+        )
+
+    def test_cross_sweep_repricing_via_base_key(self, tmp_path):
+        """A warm characterization-free cache serves a brand-new pricing."""
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(
+            sweep_grid(("dir0b",), traces=("POPS",), scale=SCALE),
+            cache=cache,
+        )
+        assert cold.simulations == 1
+        novel = builtin_characterization("pipelined")
+        path = Characterization(
+            name="custom",
+            version="1",
+            timing=novel.timing,
+            cycles=dict(novel.cycles),
+        ).save(tmp_path / "custom.toml")
+        warm = run_sweep(
+            sweep_grid(
+                ("dir0b",), traces=("POPS",), scale=SCALE,
+                characterizations=(str(path),),
+            ),
+            cache=cache,
+        )
+        assert warm.simulations == 0
+        assert warm.outcomes[0].ok
+        # Written back under the full key: next run is a direct hit.
+        again = run_sweep(
+            sweep_grid(
+                ("dir0b",), traces=("POPS",), scale=SCALE,
+                characterizations=(str(path),),
+            ),
+            cache=cache,
+        )
+        assert again.simulations == 0 and again.cache_hits == 1
+
+    def test_manifest_records_characterization_provenance(self):
+        specs = sweep_grid(
+            ("dir0b",), traces=("POPS",), scale=SCALE,
+            characterizations=("non-pipelined",),
+        )
+        report = run_sweep(specs)
+        manifest = report.outcomes[0].manifest
+        assert manifest is not None
+        assert manifest.spec["characterization"] == "non-pipelined"
+        assert manifest.spec["characterization_hash"] == (
+            builtin_characterization("non-pipelined").content_hash()
+        )
+
+    def test_pricing_table_renders_every_cell(self):
+        specs = sweep_grid(
+            ("dir0b",), traces=("POPS",), scale=SCALE,
+            characterizations=(None, "non-pipelined"),
+        )
+        report = run_sweep(specs)
+        table = report.pricing_table()
+        assert "(default)" in table
+        assert "non-pipelined" in table
+        assert "nJ/ref" in table
+
+
+class TestCli:
+    FAST = ["--scale", "512"]
+
+    def test_models_lists_bundled(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined" in out and "non-pipelined" in out
+        assert "content hash" in out
+        assert "mem_access" in out
+
+    def test_models_unknown_name_is_usage_error(self, capsys):
+        assert main(["models", "warp-drive"]) == 2
+        assert "warp-drive" in capsys.readouterr().err
+
+    def test_sweep_with_characterization_prints_pricing(self, capsys):
+        code = main(
+            self.FAST
+            + [
+                "sweep", "--schemes", "dir0b", "--traces", "POPS",
+                "--characterization", "pipelined", "non-pipelined",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "nJ/ref" in captured.out
+        assert "repriced" in captured.err
+
+    def test_sweep_with_bad_characterization_is_usage_error(self, capsys):
+        code = main(
+            self.FAST
+            + [
+                "sweep", "--schemes", "dir0b", "--traces", "POPS",
+                "--characterization", "warp-drive",
+            ]
+        )
+        assert code == 2
+        assert "warp-drive" in capsys.readouterr().err

@@ -101,6 +101,7 @@ class TestCacheKey:
             dict(sharing_model=SharingModel.PROCESSOR),
             dict(seed=99),
             dict(geometry="64x4"),
+            dict(characterization="non-pipelined"),
         ],
     )
     def test_every_axis_changes_the_key(self, changed):

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate hardware characterization files against the schema and the paper.
+
+Two modes in one pass:
+
+* **Schema validation** — every file given on the command line (TOML or
+  sectioned CSV) must load cleanly through
+  :func:`repro.characterization.load_characterization`; any missing
+  section, unknown op, negative value or unsupported schema revision is a
+  hard failure naming the file and the problem.
+* **Paper fidelity** — with no arguments (or with ``--bundled``) the two
+  bundled models are additionally checked bit-identically against the
+  package's parametric Table 2 derivations
+  (:func:`~repro.interconnect.bus.pipelined_cycles` /
+  :func:`~repro.interconnect.bus.nonpipelined_cycles`), so the data files
+  can never drift from the Section 4.3 cost accounting they encode.
+
+Usage::
+
+    python tools/validate_characterization.py                 # bundled files
+    python tools/validate_characterization.py my_model.toml   # user files
+    python tools/validate_characterization.py --bundled extra.csv
+
+Exits 0 with a per-model summary when everything validates, 1 with a
+diagnostic on the first violation.  Run from a checkout with
+``PYTHONPATH=src`` or after ``pip install -e .``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.characterization import (
+        CharacterizationError,
+        builtin_names,
+        load_characterization,
+    )
+    from repro.interconnect.bus import BusOp, nonpipelined_cycles, pipelined_cycles
+except ImportError:
+    sys.stderr.write(
+        "cannot import repro; run with PYTHONPATH=src or pip install -e .\n"
+    )
+    sys.exit(1)
+
+#: The parametric derivation each bundled model must reproduce exactly.
+BUNDLED_DERIVATIONS = {
+    "pipelined": pipelined_cycles,
+    "non-pipelined": nonpipelined_cycles,
+}
+
+
+def check_bundled(name: str) -> str:
+    """One bundled model: schema-valid and bit-identical to the derivation."""
+    characterization = load_characterization(name)
+    derived = BUNDLED_DERIVATIONS[name]()
+    bus = characterization.bus_model()
+    for op in BusOp:
+        loaded = bus.cost_of(op)
+        expected = derived[op]
+        if loaded != expected:
+            raise CharacterizationError(
+                f"{name}: [cycles] {op.value} is {loaded!r} in the data file "
+                f"but the Section 4.3 derivation gives {expected!r}"
+            )
+    energy = "with energy axis" if characterization.has_energy else "no energy"
+    return (
+        f"{name}: OK (version {characterization.version}, bit-identical to "
+        f"the parametric derivation, {energy}, "
+        f"hash {characterization.content_hash()[:12]})"
+    )
+
+
+def check_file(path: Path) -> str:
+    """One user file: schema-valid and priceable."""
+    characterization = load_characterization(path)
+    # Force full pricing so a value of the wrong shape cannot hide.
+    characterization.table2_rows()
+    ops = len(characterization.cycles)
+    energy = "with energy axis" if characterization.has_energy else "no energy"
+    return (
+        f"{path}: OK ({characterization.name} version "
+        f"{characterization.version}, {ops} ops priced, {energy}, "
+        f"hash {characterization.content_hash()[:12]})"
+    )
+
+
+def main(argv: list[str]) -> int:
+    args = [arg for arg in argv if arg != "--bundled"]
+    include_bundled = not args or "--bundled" in argv
+    try:
+        if include_bundled:
+            for name in builtin_names():
+                print(check_bundled(name))
+        for name in args:
+            print(check_file(Path(name)))
+    except CharacterizationError as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
