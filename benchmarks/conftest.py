@@ -12,6 +12,12 @@ The session comparison goes through the sweep runner, so
 ``REPRO_BENCH_JOBS`` fans it across worker processes and
 ``REPRO_BENCH_CACHE`` (a directory path) serves repeated bench sessions
 from the on-disk result cache — results are bit-identical either way.
+
+Set ``REPRO_BENCH_HISTORY=1`` to append the session's ``BENCH_*.json``
+throughput numbers to the append-only ledger
+(``benchmarks/results/history.jsonl``) when the session ends — the same
+thing ``python tools/bench_history.py`` does by hand; ``--check`` then
+gates on regressions (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -91,6 +97,34 @@ def trace_factories():
         name: (lambda name=name: standard_trace(name, scale=SCALE))
         for name in standard_trace_names()
     }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Opt-in ledger append (REPRO_BENCH_HISTORY=1) after a bench session."""
+    if os.environ.get("REPRO_BENCH_HISTORY") != "1" or exitstatus != 0:
+        return
+    import platform
+    import subprocess
+
+    from repro.obs.benchgate import append_history
+
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        sha = os.environ.get("GITHUB_SHA", "unknown")
+    append_history(
+        RESULTS_DIR / "history.jsonl",
+        RESULTS_DIR,
+        sha=sha,
+        host=platform.node(),
+        scale=BENCH_SCALE_DENOMINATOR,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -19,6 +19,7 @@ Subcommands::
     repro-coherence modelcheck SCHEME [--caches 2] [--depth 6]
     repro-coherence timed SCHEME [--scale N] [--q 1]
     repro-coherence export-trace NAME FILE [--scale N] [--format text|binary]
+    repro-coherence status   [--status-file FILE | --cache-dir DIR] [--watch S]
 
 ``--scale`` is the denominator applied to the paper's trace lengths
 (``--scale 16`` simulates 1/16 of ~3.2M references per trace).  ``--jobs``
@@ -49,8 +50,16 @@ Observability (see docs/observability.md): ``--log-level``/``-v`` raise
 logging verbosity and ``--log-json`` switches to JSON-lines logs;
 ``compare``/``sweep``/``finite`` accept ``--emit-trace FILE`` (stream every
 reference to a Chrome-trace/Perfetto file; forces inline, uncached
-execution) and ``--metrics-json FILE`` (dump the sweep's metrics registry);
-``profile`` prints a per-stage wall-time breakdown of the pipeline.
+execution), ``--metrics-json FILE`` (dump the sweep's metrics registry),
+``--metrics-openmetrics FILE`` (the same registry as OpenMetrics /
+Prometheus text), ``--emit-spans FILE`` (record the sweep's span tree —
+including worker-subprocess spans — as a Perfetto-loadable trace),
+``--heartbeat-seconds S`` (heartbeat/status cadence; 0 disables; env
+``REPRO_HEARTBEAT_SECONDS``) and ``--status-file FILE`` (where to publish
+the live status snapshot; defaults next to the journal with
+``--cache-dir``); ``status`` renders a running sweep's snapshot from a
+different process; ``profile`` prints a per-stage wall-time breakdown of
+the pipeline.
 """
 
 from __future__ import annotations
@@ -58,6 +67,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import (
@@ -73,8 +84,11 @@ from .interconnect import nonpipelined_bus, pipelined_bus
 from .obs import (
     ChromeTraceSink,
     MetricsRegistry,
+    SpanRecorder,
     get_logger,
     profile_spec,
+    read_status,
+    render_status,
     setup_logging,
 )
 from .protocols import (
@@ -98,6 +112,7 @@ from .runner import (
     run_sweep,
     sweep_grid,
 )
+from .runner.sweep import STATUS_SUFFIX
 from .trace import SharingModel, collect_stats, standard_trace, standard_trace_names
 from .trace.atum import write_binary, write_text
 from .trace.stats import format_table3
@@ -205,6 +220,45 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="FILE",
             help="write the run's metrics registry as JSON",
+        )
+        command.add_argument(
+            "--metrics-openmetrics",
+            default=None,
+            metavar="FILE",
+            help=(
+                "write the run's metrics registry as OpenMetrics/Prometheus "
+                "text exposition"
+            ),
+        )
+        command.add_argument(
+            "--emit-spans",
+            default=None,
+            metavar="FILE",
+            help=(
+                "record the sweep's span tree (sweep/cell/attempt/stage plus "
+                "cache_hit/reprice/retry/timeout/fault markers, including "
+                "worker-subprocess spans) as a Chrome-trace/Perfetto JSON file"
+            ),
+        )
+        command.add_argument(
+            "--heartbeat-seconds",
+            type=float,
+            default=None,
+            metavar="S",
+            help=(
+                "seconds between heartbeat log lines and status snapshots "
+                "(default: $REPRO_HEARTBEAT_SECONDS or 10; 0 disables)"
+            ),
+        )
+        command.add_argument(
+            "--status-file",
+            default=None,
+            metavar="FILE",
+            help=(
+                "publish an atomic live-status snapshot here (default: "
+                "next to the journal when --cache-dir is set); read it with "
+                "'repro-coherence status'"
+            ),
         )
 
     compare = sub.add_parser("compare", help="bus cycles per reference per scheme")
@@ -447,6 +501,36 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("trace", choices=list(standard_trace_names()))
     export.add_argument("path")
     export.add_argument("--format", choices=["text", "binary"], default="text")
+
+    status_cmd = sub.add_parser(
+        "status",
+        help=(
+            "live view of a (possibly running) sweep, read from its status "
+            "snapshot and journal — works from a different process"
+        ),
+    )
+    status_cmd.add_argument(
+        "--status-file",
+        default=None,
+        metavar="FILE",
+        help="the snapshot to read (as passed to sweep --status-file)",
+    )
+    status_cmd.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help=(
+            "find the most recently updated *.status.json in this cache "
+            "directory (where sweeps with --cache-dir publish theirs)"
+        ),
+    )
+    status_cmd.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-render every SECONDS until the sweep leaves 'running'",
+    )
     return parser
 
 
@@ -526,6 +610,12 @@ def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
     logger = get_logger("cli")
     registry = MetricsRegistry()
     emit_trace = getattr(args, "emit_trace", None)
+    emit_spans = getattr(args, "emit_spans", None)
+    telemetry = SpanRecorder() if emit_spans else None
+    heartbeat_seconds = getattr(args, "heartbeat_seconds", None)
+    if heartbeat_seconds is not None and heartbeat_seconds < 0:
+        raise UsageError("--heartbeat-seconds must be >= 0 (0 disables)")
+    status_file = getattr(args, "status_file", None)
 
     retries = getattr(args, "retries", 0)
     if retries < 0:
@@ -616,12 +706,23 @@ def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
             faults=fault_plan,
             journal=journal,
             resume=resume,
+            telemetry=telemetry,
+            heartbeat_seconds=heartbeat_seconds,
+            status_path=status_file,
         )
     finally:
         if sink is not None:
             sink.close()
     if emit_trace:
         print(f"wrote Chrome trace to {emit_trace}", file=sys.stderr)
+    if emit_spans and telemetry is not None and len(telemetry):
+        try:
+            slices = telemetry.write_chrome_trace(emit_spans)
+        except OSError as error:
+            raise SystemExit(f"cannot write {emit_spans}: {error}")
+        print(
+            f"wrote {slices} spans to {emit_spans}", file=sys.stderr
+        )
 
     metrics_json = getattr(args, "metrics_json", None)
     if metrics_json:
@@ -632,6 +733,15 @@ def _run_grid(args: argparse.Namespace, specs: List[RunSpec]) -> SweepReport:
         except OSError as error:
             raise SystemExit(f"cannot write {metrics_json}: {error}")
         print(f"wrote metrics to {metrics_json}", file=sys.stderr)
+    metrics_openmetrics = getattr(args, "metrics_openmetrics", None)
+    if metrics_openmetrics:
+        try:
+            report.registry.write_openmetrics(metrics_openmetrics)
+        except OSError as error:
+            raise SystemExit(f"cannot write {metrics_openmetrics}: {error}")
+        print(
+            f"wrote OpenMetrics to {metrics_openmetrics}", file=sys.stderr
+        )
     return report
 
 
@@ -848,6 +958,64 @@ def _cmd_timed(args: argparse.Namespace) -> None:
         )
 
 
+def _status_snapshot_path(args: argparse.Namespace) -> Path:
+    """Resolve which status snapshot the ``status`` verb should read."""
+    if args.status_file:
+        return Path(args.status_file)
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        raise UsageError(
+            "status: pass --status-file FILE, or --cache-dir DIR to pick the "
+            "most recent snapshot published there"
+        )
+    directory = Path(cache_dir)
+    candidates = sorted(
+        (p for p in directory.glob(f"*{STATUS_SUFFIX}") if p.is_file()),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    if not candidates:
+        raise UsageError(
+            f"status: no *{STATUS_SUFFIX} snapshot in {directory} (is a "
+            "sweep running there with a journal or --status-file?)"
+        )
+    return candidates[0]
+
+
+def _journal_counts(status: dict) -> Optional[dict]:
+    """ok/failed cell counts from the journal the snapshot points at."""
+    journal_path = status.get("journal")
+    if not journal_path or not Path(str(journal_path)).exists():
+        return None
+    records = SweepJournal(journal_path).load().values()
+    return {
+        "ok": sum(1 for r in records if r.get("status") == "ok"),
+        "failed": sum(1 for r in records if r.get("status") == "failed"),
+    }
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.watch is not None and args.watch <= 0:
+        raise UsageError("status: --watch must be positive")
+    path = _status_snapshot_path(args)
+    first = True
+    while True:
+        status = read_status(path)
+        if status is None:
+            print(
+                f"repro-coherence: status: no readable snapshot at {path}",
+                file=sys.stderr,
+            )
+            return 1
+        if not first:
+            print()
+        first = False
+        print(render_status(status, _journal_counts(status)))
+        if args.watch is None or status.get("state") != "running":
+            return 0
+        time.sleep(args.watch)
+
+
 def _cmd_export_trace(args: argparse.Namespace) -> None:
     trace = standard_trace(args.trace, scale=_scale(args))
     writer = write_text if args.format == "text" else write_binary
@@ -875,6 +1043,7 @@ _COMMANDS = {
     "modelcheck": _cmd_modelcheck,
     "timed": _cmd_timed,
     "export-trace": _cmd_export_trace,
+    "status": _cmd_status,
 }
 
 

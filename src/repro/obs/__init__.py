@@ -12,7 +12,12 @@ reproduction's own execution countable too:
 * :mod:`repro.obs.log` — structured (optionally JSON-lines) logging behind
   the CLI's ``--log-level``/``-v``/``--log-json`` flags;
 * :mod:`repro.obs.profile` — per-stage wall-time attribution behind the
-  ``repro-coherence profile`` verb.
+  ``repro-coherence profile`` verb;
+* :mod:`repro.obs.telemetry` — distributed sweep telemetry: hierarchical
+  spans joined across worker processes, atomic status snapshots and the
+  ``repro-coherence status`` live view;
+* :mod:`repro.obs.benchgate` — the benchmark-history ledger and
+  regression gate behind ``tools/bench_history.py``.
 
 See ``docs/observability.md`` for the full walkthrough.
 """
@@ -26,9 +31,18 @@ from .metrics import (
     MetricsRegistry,
     Timer,
     get_registry,
+    set_registry,
 )
 from .probe import ChromeTraceSink, CollectingProbe, JsonlSink, ReferenceProbe
 from .profile import ProfileReport, STAGES, profile_spec
+from .telemetry import (
+    SPAN_KINDS,
+    Span,
+    SpanRecorder,
+    read_status,
+    render_status,
+    write_status,
+)
 
 __all__ = [
     "JsonFormatter",
@@ -45,6 +59,7 @@ __all__ = [
     "MetricsRegistry",
     "Timer",
     "get_registry",
+    "set_registry",
     "ChromeTraceSink",
     "CollectingProbe",
     "JsonlSink",
@@ -52,4 +67,10 @@ __all__ = [
     "ProfileReport",
     "STAGES",
     "profile_spec",
+    "SPAN_KINDS",
+    "Span",
+    "SpanRecorder",
+    "read_status",
+    "render_status",
+    "write_status",
 ]

@@ -1,0 +1,258 @@
+"""The benchmark-history ledger and regression gate.
+
+The benchmark suite writes machine-readable ``BENCH_*.json`` artifacts
+(``benchmarks/results/``) but until now each run overwrote the last — the
+repo had numbers, never a *trajectory*.  This module gives them one:
+
+* :func:`extract_throughputs` pulls the throughput-like leaves out of a
+  ``BENCH_*.json`` document (any positive numeric leaf whose dotted path
+  mentions ``refs_per_sec`` or ends in ``speedup``), so both the
+  registry-shaped simulator benchmark and the report-shaped sweep
+  benchmark feed the same ledger without bespoke parsers;
+* :func:`append_history` appends one entry per run to an append-only
+  JSONL ledger (``benchmarks/results/history.jsonl``), keyed by git SHA,
+  host and benchmark scale;
+* :func:`check_latest` compares the newest entry against a baseline (the
+  per-metric **median** of the preceding entries at the same scale, so
+  one noisy run cannot poison the baseline) and reports every metric
+  that regressed beyond a noise band as a :class:`Delta`;
+* :func:`render_deltas` turns the comparison into the readable table CI
+  prints before failing.
+
+``tools/bench_history.py`` is the CLI half: it appends after a benchmark
+run and gates in CI (``--check``, report-only on PRs).  Throughput on
+shared CI runners is noisy, hence the generous default
+:data:`DEFAULT_NOISE_PCT` band and the median baseline; the gate is meant
+to catch step-function regressions (an accidental O(n^2), a dropped fast
+path), not single-digit jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "DEFAULT_NOISE_PCT",
+    "Delta",
+    "append_history",
+    "check_latest",
+    "extract_throughputs",
+    "load_history",
+    "render_deltas",
+]
+
+#: Relative drop (percent) a metric must exceed before it counts as a
+#: regression.  Deliberately wide: CI runners share cores.
+DEFAULT_NOISE_PCT = 30.0
+
+#: How many prior same-scale entries feed the median baseline.
+BASELINE_WINDOW = 5
+
+
+def extract_throughputs(
+    document: Mapping[str, object], prefix: str = ""
+) -> Dict[str, float]:
+    """Throughput-like leaves of a ``BENCH_*.json`` document, by dotted path.
+
+    A leaf qualifies when it is a positive number and its dotted path
+    contains ``refs_per_sec`` or ends with ``speedup`` — zero values are
+    skipped (a 0.0 refs/sec gauge means "not exercised", not "infinitely
+    slow").
+    """
+    found: Dict[str, float] = {}
+    for key, value in document.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            found.update(extract_throughputs(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value > 0 and (
+                "refs_per_sec" in path or path.endswith("speedup")
+            ):
+                found[path] = float(value)
+    return found
+
+
+def _entry(
+    bench: Mapping[str, Mapping[str, float]],
+    sha: str,
+    host: str,
+    scale: float,
+    timestamp: Optional[float] = None,
+) -> dict:
+    return {
+        "ts": time.time() if timestamp is None else float(timestamp),
+        "sha": sha,
+        "host": host,
+        "scale": float(scale),
+        "bench": {name: dict(metrics) for name, metrics in bench.items()},
+    }
+
+
+def append_history(
+    history_path: Union[str, Path],
+    results_dir: Union[str, Path],
+    sha: str,
+    host: str,
+    scale: float,
+    timestamp: Optional[float] = None,
+) -> Optional[dict]:
+    """Append one ledger entry built from ``BENCH_*.json`` in ``results_dir``.
+
+    Returns the appended entry, or None (and appends nothing) when the
+    directory holds no ``BENCH_*.json`` with throughput leaves — an empty
+    entry would only dilute the baseline window.
+    """
+    results_dir = Path(results_dir)
+    bench: Dict[str, Dict[str, float]] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(document, dict):
+            continue
+        metrics = extract_throughputs(document)
+        if metrics:
+            bench[path.stem] = metrics
+    if not bench:
+        return None
+    entry = _entry(bench, sha=sha, host=host, scale=scale, timestamp=timestamp)
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(history_path: Union[str, Path]) -> List[dict]:
+    """Every decodable ledger entry, in append order (missing file → [])."""
+    entries: List[dict] = []
+    try:
+        lines = Path(history_path).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return entries
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of a killed run; skip like the journal does
+        if isinstance(entry, dict) and isinstance(entry.get("bench"), dict):
+            entries.append(entry)
+    return entries
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's latest value against its baseline."""
+
+    bench: str
+    metric: str
+    baseline: float
+    latest: float
+
+    @property
+    def change_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0
+        return 100.0 * (self.latest - self.baseline) / self.baseline
+
+    @property
+    def path(self) -> str:
+        return f"{self.bench}:{self.metric}"
+
+
+def _flatten(entry: Mapping[str, object]) -> Dict[Tuple[str, str], float]:
+    flat: Dict[Tuple[str, str], float] = {}
+    bench = entry.get("bench")
+    if not isinstance(bench, Mapping):
+        return flat
+    for name, metrics in bench.items():
+        if not isinstance(metrics, Mapping):
+            continue
+        for metric, value in metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[(str(name), str(metric))] = float(value)
+    return flat
+
+
+def check_latest(
+    entries: Iterable[Mapping[str, object]],
+    noise_pct: float = DEFAULT_NOISE_PCT,
+) -> Tuple[List[Delta], List[Delta]]:
+    """Compare the newest entry to its same-scale median baseline.
+
+    Returns ``(regressions, others)``: metrics that dropped more than
+    ``noise_pct`` percent below baseline, and every other shared metric
+    (for the report table).  With fewer than two same-scale entries there
+    is nothing to compare and both lists are empty.
+    """
+    if noise_pct < 0:
+        raise ValueError(f"noise_pct must be >= 0, got {noise_pct}")
+    entries = list(entries)
+    if len(entries) < 2:
+        return [], []
+    latest = entries[-1]
+    scale = latest.get("scale")
+    prior = [e for e in entries[:-1] if e.get("scale") == scale]
+    prior = prior[-BASELINE_WINDOW:]
+    if not prior:
+        return [], []
+    latest_flat = _flatten(latest)
+    baselines: Dict[Tuple[str, str], float] = {}
+    for key in latest_flat:
+        history = [
+            flat[key] for flat in map(_flatten, prior) if key in flat
+        ]
+        if history:
+            baselines[key] = median(history)
+    regressions: List[Delta] = []
+    others: List[Delta] = []
+    for key, baseline in sorted(baselines.items()):
+        bench, metric = key
+        delta = Delta(
+            bench=bench, metric=metric,
+            baseline=baseline, latest=latest_flat[key],
+        )
+        if delta.change_pct < -noise_pct:
+            regressions.append(delta)
+        else:
+            others.append(delta)
+    return regressions, others
+
+
+def render_deltas(
+    regressions: List[Delta],
+    others: List[Delta],
+    noise_pct: float = DEFAULT_NOISE_PCT,
+) -> str:
+    """The readable comparison table CI prints (regressions first)."""
+    rows = regressions + others
+    if not rows:
+        return "bench history: nothing to compare (need 2+ same-scale runs)"
+    width = max(len(row.path) for row in rows)
+    header = (
+        f"{'metric':<{width}}  {'baseline':>14}  {'latest':>14}  {'change':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        flag = "  REGRESSED" if row in regressions else ""
+        lines.append(
+            f"{row.path:<{width}}  {row.baseline:>14,.1f}  "
+            f"{row.latest:>14,.1f}  {row.change_pct:>+8.1f}%{flag}"
+        )
+    verdict = (
+        f"{len(regressions)} metric(s) regressed beyond the "
+        f"{noise_pct:g}% noise band"
+        if regressions
+        else f"all {len(rows)} metrics within the {noise_pct:g}% noise band"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

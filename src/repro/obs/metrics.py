@@ -10,6 +10,22 @@ under a different hardware characterization); the result cache defaults to
 the process-wide registry (:func:`get_registry`) so corruption events are
 visible no matter which sweep tripped them.
 
+The process-wide registry is exactly that: **per process**.  Instruments
+tallied inside a sweep worker subprocess live in that worker's own
+``_DEFAULT`` and would vanish with it — which is why the cell executor
+swaps in a fresh registry per attempt (:func:`set_registry`), ships its
+snapshot back over the result pipe, and the sweep loop folds it into the
+parent registry with :meth:`MetricsRegistry.merge_snapshot`.  Code that
+tallies into :func:`get_registry` from inside a worker is therefore
+visible in ``SweepReport.metrics_dict()``; code that caches a registry
+*object* across the fork boundary is not.
+
+Registries export two machine formats: :meth:`MetricsRegistry.as_dict` /
+``write_json`` (the ``--metrics-json`` schema shared with the
+``BENCH_*.json`` artifacts) and :meth:`MetricsRegistry.to_openmetrics` /
+``write_openmetrics`` (OpenMetrics / Prometheus text exposition, behind
+``--metrics-openmetrics``).
+
 Instruments are deliberately tiny pure-Python objects — a counter is one
 integer — so tallying in hot-ish paths (per sweep cell, per cache lookup)
 costs nothing worth measuring.  Per-*reference* instrumentation does not go
@@ -21,10 +37,11 @@ when no probe is attached.
 from __future__ import annotations
 
 import json
+import re
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, Mapping, Optional, Union
 
 __all__ = [
     "Counter",
@@ -33,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "Timer",
     "get_registry",
+    "set_registry",
 ]
 
 
@@ -197,6 +215,96 @@ class MetricsRegistry:
             encoding="utf-8",
         )
 
+    # -- cross-process merging -------------------------------------------------
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        This is how worker-side metrics cross the process boundary: the
+        cell executor serialises the worker's registry as plain data over
+        the result pipe and the sweep loop merges it here.  Counters and
+        timers accumulate, histograms fold their streaming summaries, and
+        gauges keep last-write-wins semantics (the snapshot wins).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, data in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.total_seconds += float(data.get("total_s", 0.0))
+            timer.count += int(data.get("count", 0))
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = int(data.get("count", 0))
+            if count == 0:
+                continue
+            histogram.count += count
+            histogram.total += float(data.get("sum", 0.0))
+            for bound, better in (("min", min), ("max", max)):
+                observed = data.get(bound)
+                if observed is None:
+                    continue
+                current = getattr(histogram, bound)
+                setattr(
+                    histogram,
+                    bound,
+                    float(observed) if current is None
+                    else better(current, float(observed)),
+                )
+
+    # -- OpenMetrics exposition ------------------------------------------------
+
+    def to_openmetrics(self, prefix: str = "repro_") -> str:
+        """The registry as OpenMetrics / Prometheus text exposition.
+
+        Dotted instrument names are mangled to the OpenMetrics charset
+        (``sweep.cache_hits`` → ``repro_sweep_cache_hits``).  Counters
+        become ``counter`` families (``_total`` sample), gauges become
+        ``gauge`` families, and timers/histograms become ``summary``
+        families (``_count``/``_sum``; histograms additionally expose
+        their streaming ``_min``/``_max`` as gauges).  The text ends with
+        the spec's ``# EOF`` terminator, so the output is a complete
+        exposition suitable for the Prometheus textfile collector.
+        """
+        lines = []
+
+        def family(name: str, kind: str) -> str:
+            lines.append(f"# TYPE {name} {kind}")
+            return name
+
+        def sample(name: str, value: Union[int, float]) -> None:
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            lines.append(f"{name} {value}")
+
+        for name, counter in sorted(self._counters.items()):
+            metric = family(_openmetrics_name(prefix, name), "counter")
+            sample(f"{metric}_total", counter.value)
+        for name, gauge in sorted(self._gauges.items()):
+            metric = family(_openmetrics_name(prefix, name), "gauge")
+            sample(metric, gauge.value)
+        for name, timer in sorted(self._timers.items()):
+            metric = family(_openmetrics_name(prefix, name), "summary")
+            sample(f"{metric}_count", timer.count)
+            sample(f"{metric}_sum", timer.total_seconds)
+        for name, histogram in sorted(self._histograms.items()):
+            metric = family(_openmetrics_name(prefix, name), "summary")
+            sample(f"{metric}_count", histogram.count)
+            sample(f"{metric}_sum", histogram.total)
+            for bound in ("min", "max"):
+                observed = getattr(histogram, bound)
+                if observed is not None:
+                    bound_metric = family(f"{metric}_{bound}", "gauge")
+                    sample(bound_metric, observed)
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def write_openmetrics(
+        self, path: Union[str, Path], prefix: str = "repro_"
+    ) -> None:
+        Path(path).write_text(self.to_openmetrics(prefix), encoding="utf-8")
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
@@ -205,11 +313,40 @@ class MetricsRegistry:
         )
 
 
+#: OpenMetrics metric names: [a-zA-Z_:] then [a-zA-Z0-9_:]*.
+_OPENMETRICS_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _openmetrics_name(prefix: str, name: str) -> str:
+    metric = _OPENMETRICS_INVALID.sub("_", f"{prefix}{name}")
+    if metric and metric[0].isdigit():
+        metric = f"_{metric}"
+    return metric
+
+
 #: Process-wide default registry for layers with no better home (the result
-#: cache's corruption counter, ad-hoc instrumentation in scripts).
+#: cache's corruption counter, ad-hoc instrumentation in scripts).  Note
+#: "process-wide", not "sweep-wide": a worker subprocess has its own copy
+#: (see the module docstring), which the cell executor snapshots and ships
+#: back to the parent.
 _DEFAULT = MetricsRegistry()
 
 
 def get_registry() -> MetricsRegistry:
     """The process-wide default registry."""
     return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the previous one.
+
+    The cell executor installs a fresh registry at the top of every worker
+    attempt so that *everything* the attempt tallies into
+    :func:`get_registry` — cache traffic, corrupt-entry deletions, ad-hoc
+    instrumentation — is exactly the delta shipped back to the parent
+    sweep, instead of vanishing with the worker.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous

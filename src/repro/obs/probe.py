@@ -167,6 +167,13 @@ class ChromeTraceSink:
 
         with ChromeTraceSink("out.json") as sink:
             simulate(protocol, trace, probe=sink.cell("dir0b/POPS"))
+
+    The sink is also the substrate for span-level telemetry
+    (:mod:`repro.obs.telemetry`): :meth:`track` declares an arbitrary
+    ``pid`` track (a real worker OS pid, say) and :meth:`slice` emits a
+    complete event onto it, so per-reference probes and multi-process
+    sweep spans share one file format and one validator
+    (``tools/validate_trace.py``).
     """
 
     def __init__(
@@ -189,10 +196,18 @@ class ChromeTraceSink:
         self._first = False
         self._handle.write(json.dumps(event))
 
-    def cell(self, label: str) -> "_ChromeCellProbe":
-        """A probe streaming one simulation cell onto its own pid track."""
-        pid = self._next_pid
-        self._next_pid += 1
+    def track(self, label: str, pid: Optional[int] = None) -> int:
+        """Declare (and name) a ``pid`` track; returns the pid used.
+
+        With ``pid=None`` the next free small integer is assigned (the
+        per-cell probe convention); an explicit pid — a worker OS pid, for
+        span telemetry — is named verbatim.  Either way the
+        ``process_name`` metadata event Perfetto needs is emitted exactly
+        once per track.
+        """
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
         self._emit(
             {
                 "name": "process_name",
@@ -202,7 +217,36 @@ class ChromeTraceSink:
                 "args": {"name": label},
             }
         )
-        return _ChromeCellProbe(self, pid)
+        return pid
+
+    def slice(
+        self,
+        pid: int,
+        tid: int,
+        name: str,
+        ts: int,
+        dur: float,
+        cat: Optional[str] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Emit one complete (``ph: "X"``) event onto a declared track."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": pid,
+            "tid": tid,
+        }
+        if cat is not None:
+            event["cat"] = cat
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def cell(self, label: str) -> "_ChromeCellProbe":
+        """A probe streaming one simulation cell onto its own pid track."""
+        return _ChromeCellProbe(self, self.track(label))
 
     def close(self) -> None:
         if self._handle is not None:

@@ -17,6 +17,17 @@ process per cell attempt, dispatched future-style:
 * retries re-enter through :meth:`CellExecutor.submit` with a delay, so
   backoff scheduling lives in the same queue as fresh dispatches.
 
+Telemetry crosses the process boundary on the same result pipe (see
+``docs/observability.md``): every worker attempt swaps a **fresh**
+process-wide metrics registry in (:func:`repro.obs.metrics.set_registry`)
+so whatever the attempt tallies — cache traffic, corrupt-entry
+deletions, ad-hoc counters — comes back as a snapshot delta on the
+event, and when the sweep ships a :data:`~repro.obs.telemetry.SpanContext`
+the worker records ``attempt``/``stage`` spans under the parent's cell
+span and returns them serialised alongside the delta.  Both ride on
+success *and* failure events, so a retried attempt's telemetry survives
+the retry.
+
 Events are raw tuples; the sweep loop turns them into
 :class:`~repro.resilience.errors.RunError`s (which know the attempt
 budget) and :class:`~repro.runner.sweep.RunOutcome`s.
@@ -29,12 +40,14 @@ import multiprocessing
 import os
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as wait_connections
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.manifest import collect_manifest
+from ..obs.metrics import MetricsRegistry, set_registry
+from ..obs.telemetry import SpanRecorder
 
 __all__ = ["CellEvent", "CellExecutor"]
 
@@ -42,24 +55,65 @@ __all__ = ["CellEvent", "CellExecutor"]
 POLL_SECONDS = 0.05
 
 
-def _cell_worker(conn: Connection, spec, attempt: int, faults) -> None:
-    """Child entry point: fire injected faults, simulate, report on the pipe."""
+def _cell_worker(
+    conn: Connection, spec, attempt: int, faults, span_context=None
+) -> None:
+    """Child entry point: fire injected faults, simulate, report on the pipe.
+
+    The attempt runs against a fresh process-wide registry, whose snapshot
+    travels back as the event's metrics delta; with a ``span_context``
+    the attempt also records its span subtree (attempt → stages) for the
+    parent to ingest.
+    """
     pid = os.getpid()
+    registry = MetricsRegistry()
+    set_registry(registry)
+    recorder = None
+    attempt_span = None
+    if span_context is not None:
+        trace_id, parent_span_id = span_context
+        recorder = SpanRecorder(trace_id=trace_id)
+        attempt_span = recorder.begin(
+            f"attempt {attempt}", kind="attempt", parent=parent_span_id,
+            attempt=attempt, cell=spec.cell_id(),
+        )
     start = time.perf_counter()
+
+    def _telemetry() -> Tuple[Optional[dict], List[dict]]:
+        delta = registry.as_dict()
+        if not any(delta.values()):
+            delta = None
+        return delta, recorder.serialized() if recorder is not None else []
+
     try:
         if faults is not None:
             faults.fire_worker_faults(spec.cell_id(), attempt)
-        result = spec.run()
+        if recorder is not None:
+            with recorder.span("simulate", kind="stage", parent=attempt_span):
+                result = spec.run()
+        else:
+            result = spec.run()
         elapsed = time.perf_counter() - start
-        manifest = collect_manifest(
-            spec.as_dict(), spec.cache_key(), elapsed, worker_pid=pid
-        )
-        conn.send(("ok", result, elapsed, pid, manifest))
+        if recorder is not None:
+            with recorder.span("report", kind="stage", parent=attempt_span):
+                manifest = collect_manifest(
+                    spec.as_dict(), spec.cache_key(), elapsed, worker_pid=pid
+                )
+            attempt_span.end(status="ok")
+        else:
+            manifest = collect_manifest(
+                spec.as_dict(), spec.cache_key(), elapsed, worker_pid=pid
+            )
+        delta, spans = _telemetry()
+        conn.send(("ok", result, elapsed, pid, manifest, delta, spans))
     except BaseException as exc:  # noqa: BLE001 - everything becomes an event
         elapsed = time.perf_counter() - start
+        if attempt_span is not None:
+            attempt_span.end(status="error", error=type(exc).__name__)
+        delta, spans = _telemetry()
         conn.send(
             ("error", type(exc).__name__, str(exc),
-             traceback.format_exc(), pid, elapsed)
+             traceback.format_exc(), pid, elapsed, delta, spans)
         )
     finally:
         conn.close()
@@ -81,6 +135,10 @@ class CellEvent:
     traceback: Optional[str] = None
     worker: int = 0
     elapsed: float = 0.0
+    #: the worker attempt's process-wide registry snapshot (None when empty)
+    metrics: Optional[dict] = None
+    #: the worker attempt's serialised spans (empty without a span context)
+    spans: Tuple = field(default=())
 
     @property
     def ok(self) -> bool:
@@ -119,11 +177,26 @@ class CellExecutor:
 
     # -- dispatch -------------------------------------------------------------
 
-    def submit(self, index: int, spec, attempt: int = 1, delay: float = 0.0) -> None:
-        """Queue one cell attempt, optionally delayed (retry backoff)."""
+    def submit(
+        self,
+        index: int,
+        spec,
+        attempt: int = 1,
+        delay: float = 0.0,
+        span_context=None,
+    ) -> None:
+        """Queue one cell attempt, optionally delayed (retry backoff).
+
+        ``span_context`` — a ``(trace_id, parent_span_id)`` pair — makes
+        the worker record its attempt/stage spans under the parent's cell
+        span (see :mod:`repro.obs.telemetry`).
+        """
         heapq.heappush(
             self._queue,
-            (time.monotonic() + delay, self._seq, index, spec, attempt),
+            (
+                time.monotonic() + delay,
+                self._seq, index, spec, attempt, span_context,
+            ),
         )
         self._seq += 1
 
@@ -143,11 +216,11 @@ class CellExecutor:
             and len(self._running) < self._jobs
             and self._queue[0][0] <= now
         ):
-            _, _, index, spec, attempt = heapq.heappop(self._queue)
+            _, _, index, spec, attempt, span_context = heapq.heappop(self._queue)
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
             process = self._ctx.Process(
                 target=_cell_worker,
-                args=(child_conn, spec, attempt, self._faults),
+                args=(child_conn, spec, attempt, self._faults, span_context),
                 daemon=True,
             )
             process.start()
@@ -209,14 +282,17 @@ class CellExecutor:
     def _message_event(self, index: int, task: _Task, message) -> CellEvent:
         self._reap(task)
         if message[0] == "ok":
-            _, result, elapsed, pid, manifest = message
+            _, result, elapsed, pid, manifest, metrics, spans = message
             return CellEvent(
                 index=index,
                 spec=task.spec,
                 attempt=task.attempt,
                 payload=(result, elapsed, pid, manifest),
+                worker=pid,
+                metrics=metrics,
+                spans=tuple(spans),
             )
-        _, exc_type, text, tb, pid, elapsed = message
+        _, exc_type, text, tb, pid, elapsed, metrics, spans = message
         return CellEvent(
             index=index,
             spec=task.spec,
@@ -227,6 +303,8 @@ class CellExecutor:
             traceback=tb,
             worker=pid,
             elapsed=elapsed,
+            metrics=metrics,
+            spans=tuple(spans),
         )
 
     def _crash_event(self, index: int, task: _Task) -> CellEvent:

@@ -48,6 +48,23 @@ per-reference :class:`~repro.obs.probe.ReferenceProbe` to each simulated
 cell (probed sweeps run inline, since event streams cannot cross process
 boundaries).
 
+Distributed telemetry (see ``docs/observability.md``): registry snapshots
+tallied *inside* worker subprocesses ride back on the executor's result
+events and are folded into the sweep registry with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`, so
+:meth:`SweepReport.metrics_dict` reflects what workers actually did.  An
+optional :class:`~repro.obs.telemetry.SpanRecorder` (``telemetry=``)
+records the sweep's causal tree — ``sweep → cell → attempt → stage``
+spans plus ``cache_hit``/``reprice``/``retry``/``timeout``/``fault``
+markers — with worker-side spans joined across the process boundary via
+:data:`~repro.obs.telemetry.SpanContext`.  On the heartbeat cadence
+(``heartbeat_seconds``, env ``REPRO_HEARTBEAT_SECONDS``, ``0`` disables)
+the loop also atomically publishes a status snapshot next to the journal
+(or at ``status_path``) that the ``repro-coherence status`` verb renders
+from a different process.  All of it is observer-only: counters stay
+bit-identical with telemetry on, and with everything off the loop pays a
+handful of ``is None`` checks.
+
 Determinism contract: the outcome list is ordered exactly like the input
 spec list regardless of worker scheduling, and each worker reconstructs its
 trace from the spec's seed, so ``jobs=N`` produces bit-identical counters
@@ -62,6 +79,7 @@ import os
 import time
 import traceback as traceback_module
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.comparison import ComparisonResult
@@ -71,9 +89,10 @@ from ..obs.log import fields, get_logger
 from ..obs.manifest import RunManifest, collect_manifest
 from ..obs.metrics import MetricsRegistry
 from ..obs.probe import ReferenceProbe
+from ..obs.telemetry import SpanRecorder, write_status
 from ..resilience.errors import CellFailure, RunError, SweepInterrupted
 from ..resilience.executor import CellExecutor
-from ..resilience.journal import SweepJournal
+from ..resilience.journal import JOURNAL_SUFFIX, SweepJournal
 from ..resilience.retry import RetryPolicy
 from .cache import ResultCache
 from .spec import INFINITE_GEOMETRY, RunSpec
@@ -89,8 +108,40 @@ ProgressHook = Callable[["RunOutcome"], None]
 #: Factory producing a per-cell probe for instrumented sweeps.
 ProbeFactory = Callable[[RunSpec], Optional[ReferenceProbe]]
 
-#: Seconds between INFO-level heartbeat lines while a sweep runs.
+#: Default seconds between heartbeat lines / status snapshots while a sweep
+#: runs; override per sweep with ``heartbeat_seconds`` (CLI
+#: ``--heartbeat-seconds``) or process-wide with ``REPRO_HEARTBEAT_SECONDS``.
 HEARTBEAT_SECONDS = 10.0
+
+#: Environment override for the heartbeat cadence (``0`` disables).
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_SECONDS"
+
+#: Suffix of the status-snapshot file auto-derived from the journal path.
+STATUS_SUFFIX = ".status.json"
+
+
+def _resolve_heartbeat(heartbeat_seconds: Optional[float]) -> float:
+    """Explicit argument, else ``$REPRO_HEARTBEAT_SECONDS``, else the default.
+
+    ``0`` disables periodic heartbeats (status snapshots are then written
+    only at sweep start and end); negative values are rejected.
+    """
+    if heartbeat_seconds is None:
+        raw = os.environ.get(HEARTBEAT_ENV)
+        if raw is None:
+            return HEARTBEAT_SECONDS
+        try:
+            heartbeat_seconds = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{HEARTBEAT_ENV} must be a number, got {raw!r}"
+            ) from None
+    interval = float(heartbeat_seconds)
+    if interval < 0:
+        raise ValueError(
+            f"heartbeat interval must be >= 0 (0 disables), got {interval}"
+        )
+    return interval
 
 
 @dataclass(frozen=True)
@@ -395,6 +446,9 @@ def run_sweep(
     faults=None,
     journal: Optional[SweepJournal] = None,
     resume: bool = False,
+    telemetry: Optional[SpanRecorder] = None,
+    heartbeat_seconds: Optional[float] = None,
+    status_path: Optional[Union[str, Path]] = None,
 ) -> SweepReport:
     """Execute a sweep grid, optionally in parallel and through a cache.
 
@@ -428,6 +482,21 @@ def run_sweep(
       the cache, so only failed/missing cells re-simulate).
     * ``faults`` — a :class:`~repro.resilience.faults.FaultPlan` for
       deterministic fault injection (tests and CI soak runs).
+
+    Telemetry knobs (all observer-only; counters are bit-identical with
+    them on or off):
+
+    * ``telemetry`` — a :class:`~repro.obs.telemetry.SpanRecorder` that
+      collects the sweep's span tree, including worker-side spans shipped
+      back over the result pipe.  ``None`` (the default) records nothing.
+    * ``heartbeat_seconds`` — seconds between heartbeat log lines and
+      status snapshots; defaults to ``REPRO_HEARTBEAT_SECONDS`` or
+      :data:`HEARTBEAT_SECONDS`, and ``0`` disables the cadence.
+    * ``status_path`` — where to publish the atomic status snapshot; when
+      omitted it is derived from the journal path
+      (``<sweep-key>.status.json``), and with neither no snapshot is
+      written.  Snapshot write failures are logged and disable further
+      snapshots; they never fail the sweep.
     """
     specs = list(specs)
     if not specs:
@@ -442,6 +511,7 @@ def run_sweep(
         raise ValueError("resume=True requires a journal")
     policy = retry if isinstance(retry, RetryPolicy) else RetryPolicy(int(retry))
     registry = registry if registry is not None else MetricsRegistry()
+    beat_every = _resolve_heartbeat(heartbeat_seconds)
     probed = probe_factory is not None
     if probed and jobs > 1:
         logger.warning(
@@ -487,6 +557,16 @@ def run_sweep(
     if journal is not None:
         journal.record_start(len(specs), jobs)
 
+    sweep_id = SweepJournal.sweep_key(keys)
+    status_file: Optional[Path] = (
+        Path(status_path) if status_path is not None else None
+    )
+    if status_file is None and journal is not None:
+        stem = journal.path.name
+        if stem.endswith(JOURNAL_SUFFIX):
+            stem = stem[: -len(JOURNAL_SUFFIX)]
+        status_file = journal.path.with_name(f"{stem}{STATUS_SUFFIX}")
+
     wall = registry.timer("sweep.wall_seconds")
     wall_before = wall.total_seconds
     registry.gauge("sweep.jobs").set(jobs)
@@ -509,13 +589,115 @@ def run_sweep(
     followers: Dict[int, List[int]] = {}
     done = 0
     failed_cells = 0
-    last_beat = time.perf_counter()
+    sweep_started = time.perf_counter()
+    last_beat = sweep_started
     executor: Optional[CellExecutor] = None
+    status_healthy = True
+    cell_spans: Dict[int, object] = {}
+    sweep_span = (
+        telemetry.begin(
+            f"sweep {sweep_id[:12]}", kind="sweep",
+            sweep_id=sweep_id, cells=len(specs), jobs=jobs,
+        )
+        if telemetry is not None
+        else None
+    )
+
+    def _publish_status(state: str) -> None:
+        """Atomically refresh the status snapshot; degrade on any OSError."""
+        nonlocal status_healthy
+        if status_file is None or not status_healthy:
+            return
+        finished = [o for o in outcomes if o is not None]
+        ok = sum(1 for o in finished if o.ok)
+        simulated_refs = sum(
+            o.result.references
+            for o in finished
+            if o.ok and not o.cached and not o.repriced
+        )
+        running = executor.in_flight if executor is not None else 0
+        elapsed = time.perf_counter() - sweep_started
+        cell_hist = registry.histogram("sweep.cell_seconds")
+        remaining = max(0, len(specs) - done)
+        eta = (
+            remaining * cell_hist.mean / max(1, jobs)
+            if state == "running" and cell_hist.count and remaining
+            else None
+        )
+        try:
+            write_status(
+                status_file,
+                {
+                    "state": state,
+                    "ts": time.time(),
+                    "pid": os.getpid(),
+                    "sweep_id": sweep_id,
+                    "cells": len(specs),
+                    "done": done,
+                    "ok": ok,
+                    "failed": len(finished) - ok,
+                    "running": running,
+                    "pending": max(0, len(specs) - done - running),
+                    "simulated": registry.counter("sweep.simulated").value,
+                    "cache_hits": registry.counter("sweep.cache_hits").value,
+                    "repriced": registry.counter("sweep.repriced").value,
+                    "retries": registry.counter("sweep.retries").value,
+                    "timeouts": registry.counter("sweep.timeouts").value,
+                    "references": sum(
+                        o.result.references for o in finished if o.ok
+                    ),
+                    "refs_per_sec": (
+                        simulated_refs / elapsed if elapsed > 0 else 0.0
+                    ),
+                    "eta_s": eta,
+                    "wall_s": elapsed,
+                    "jobs": jobs,
+                    "journal": str(journal.path) if journal is not None else None,
+                },
+            )
+        except OSError as exc:
+            status_healthy = False
+            logger.warning(
+                "status snapshot write failed; disabling snapshots",
+                extra=fields(path=str(status_file), error=str(exc)),
+            )
+
+    def _begin_cell_span(index: int):
+        """The cell's open span, created on first use (telemetry only)."""
+        span = cell_spans.get(index)
+        if span is None and telemetry is not None:
+            span = telemetry.begin(
+                cell_ids[index], kind="cell", parent=sweep_span, tid=index + 1,
+            )
+            cell_spans[index] = span
+        return span
+
+    def _end_cell_span(index: int, **attributes: object) -> None:
+        span = cell_spans.pop(index, None)
+        if span is not None:
+            span.end(**attributes)
+
+    def _span_context(index: int):
+        """What a worker needs to hang its spans under this cell's span."""
+        if telemetry is None:
+            return None
+        return (telemetry.trace_id, _begin_cell_span(index).span_id)
+
+    def _close_telemetry(state: str) -> None:
+        """End every open span (interrupt/failure leaves cells open)."""
+        if telemetry is None:
+            return
+        for index in list(cell_spans):
+            _end_cell_span(index, status=state)
+        if sweep_span is not None:
+            sweep_span.end(status=state)
 
     def _heartbeat() -> None:
         nonlocal last_beat
+        if beat_every <= 0:
+            return
         now = time.perf_counter()
-        if now - last_beat >= HEARTBEAT_SECONDS:
+        if now - last_beat >= beat_every:
             last_beat = now
             finished = [o for o in outcomes if o is not None]
             logger.info(
@@ -532,6 +714,7 @@ def run_sweep(
                     ),
                 ),
             )
+            _publish_status("running")
 
     def _journal_cell(
         index: int,
@@ -565,6 +748,11 @@ def run_sweep(
         outcomes[index] = outcome
         done += 1
         registry.counter("sweep.repriced").inc()
+        if telemetry is not None:
+            telemetry.event(
+                cell_ids[index], kind="reprice", parent=sweep_span,
+                tid=index + 1, worker=worker,
+            )
         if cache is not None:
             cache.put(keys[index], result, manifest=manifest)
         _journal_cell(index, "ok")
@@ -590,6 +778,10 @@ def run_sweep(
         done += 1
         registry.counter("sweep.simulated").inc()
         registry.histogram("sweep.cell_seconds").observe(elapsed)
+        _end_cell_span(
+            index, status="ok", attempts=attempt, elapsed_s=elapsed,
+            worker=worker,
+        )
         if cache is not None:
             cache.put(keys[index], result, manifest=manifest)
             if base_keys[index] != keys[index]:
@@ -638,6 +830,9 @@ def run_sweep(
         done += 1
         failed_cells += 1
         registry.counter("sweep.failures").inc()
+        _end_cell_span(
+            index, status="failed", kind=error.kind, attempts=error.attempts,
+        )
         _journal_cell(
             index, "failed",
             attempts=error.attempts, elapsed=elapsed, error=error,
@@ -680,9 +875,28 @@ def run_sweep(
         """Backoff seconds when a retry is granted; None after recording failure."""
         if kind == "timeout":
             registry.counter("sweep.timeouts").inc()
+        if telemetry is not None:
+            marker_parent = cell_spans.get(index) or sweep_span
+            if kind == "timeout":
+                telemetry.event(
+                    cell_ids[index], kind="timeout", parent=marker_parent,
+                    tid=index + 1, attempt=attempt, elapsed_s=elapsed,
+                )
+            if exc_type == "InjectedFault":
+                telemetry.event(
+                    cell_ids[index], kind="fault", parent=marker_parent,
+                    tid=index + 1, attempt=attempt,
+                )
         if attempt < policy.max_attempts:
             registry.counter("sweep.retries").inc()
             delay = policy.delay(keys[index], attempt)
+            if telemetry is not None:
+                telemetry.event(
+                    cell_ids[index], kind="retry",
+                    parent=cell_spans.get(index) or sweep_span,
+                    tid=index + 1, attempt=attempt, backoff_s=delay,
+                    failure=kind,
+                )
             logger.warning(
                 "cell attempt failed; retrying",
                 extra=fields(
@@ -740,6 +954,11 @@ def run_sweep(
                 outcomes[index] = outcome
                 done += 1
                 registry.counter("sweep.cache_hits").inc()
+                if telemetry is not None:
+                    telemetry.event(
+                        cell_ids[index], kind="cache_hit", parent=sweep_span,
+                        tid=index + 1, via_base=via_base,
+                    )
                 _journal_cell(index, "ok", cached=True)
                 if progress is not None:
                     progress(outcome)
@@ -786,8 +1005,17 @@ def run_sweep(
     def _run_inline() -> None:
         for index in pending:
             attempt = 1
+            cell_span = _begin_cell_span(index)
             while True:
                 probe = probe_factory(specs[index]) if probed else None
+                attempt_span = (
+                    telemetry.begin(
+                        f"attempt {attempt}", kind="attempt", parent=cell_span,
+                        tid=index + 1, attempt=attempt, cell=cell_ids[index],
+                    )
+                    if telemetry is not None
+                    else None
+                )
                 start = time.perf_counter()
                 try:
                     if faults is not None:
@@ -796,9 +1024,15 @@ def run_sweep(
                         )
                     result = specs[index].run(probe=probe)
                 except KeyboardInterrupt:
+                    if attempt_span is not None:
+                        attempt_span.end(status="interrupted")
                     raise
                 except Exception as exc:
                     elapsed = time.perf_counter() - start
+                    if attempt_span is not None:
+                        attempt_span.end(
+                            status="error", error=type(exc).__name__
+                        )
                     delay = _retry_or_fail(
                         index, attempt, "exception", type(exc).__name__,
                         str(exc), traceback_module.format_exc(),
@@ -810,6 +1044,8 @@ def run_sweep(
                     attempt += 1
                     continue
                 elapsed = time.perf_counter() - start
+                if attempt_span is not None:
+                    attempt_span.end(status="ok")
                 manifest = collect_manifest(
                     specs[index].as_dict(), keys[index], elapsed
                 )
@@ -825,9 +1061,18 @@ def run_sweep(
             jobs=pool_size, timeout=cell_timeout, faults=faults
         )
         for index in pending:
-            executor.submit(index, specs[index], attempt=1)
+            executor.submit(
+                index, specs[index], attempt=1,
+                span_context=_span_context(index),
+            )
         while executor.active:
             for event in executor.poll():
+                # Worker-side telemetry rides on every event, success or
+                # failure — a retried attempt's metrics/spans still count.
+                if event.metrics:
+                    registry.merge_snapshot(event.metrics)
+                if telemetry is not None and event.spans:
+                    telemetry.ingest(event.spans)
                 if event.ok:
                     _complete(event.index, event.payload, event.attempt)
                 else:
@@ -840,6 +1085,7 @@ def run_sweep(
                         executor.submit(
                             event.index, specs[event.index],
                             event.attempt + 1, delay,
+                            span_context=_span_context(event.index),
                         )
             _heartbeat()
 
@@ -849,6 +1095,7 @@ def run_sweep(
         return ok, len(finished) - ok
 
     try:
+        _publish_status("running")
         with wall.time():
             _scan_cache()
             _group_repricing()
@@ -860,9 +1107,11 @@ def run_sweep(
     except KeyboardInterrupt:
         if executor is not None:
             executor.abort()
+        _close_telemetry("interrupted")
         ok, failed = _finished_counts()
         if journal is not None:
             journal.record_end("interrupted", ok, failed)
+        _publish_status("interrupted")
         partial = SweepReport(
             outcomes=tuple(o for o in outcomes if o is not None),
             wall_time=wall.total_seconds - wall_before,
@@ -877,12 +1126,15 @@ def run_sweep(
     except CellFailure:
         if executor is not None:
             executor.abort()
+        _close_telemetry("failed")
         ok, failed = _finished_counts()
         if journal is not None:
             journal.record_end("failed", ok, failed)
+        _publish_status("failed")
         raise
 
     wall_time = wall.total_seconds - wall_before
+    _close_telemetry("finished")
     report = SweepReport(
         outcomes=tuple(outcomes),
         wall_time=wall_time,
@@ -894,6 +1146,7 @@ def run_sweep(
             "finished", len(report.successes), len(report.failures)
         )
     registry.gauge("sweep.refs_per_sec").set(report.refs_per_sec)
+    _publish_status("finished")
     logger.info(
         "sweep finished",
         extra=fields(

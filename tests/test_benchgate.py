@@ -1,0 +1,256 @@
+"""Tests for the benchmark-history ledger and regression gate.
+
+Covers metric extraction from ``BENCH_*.json`` documents, ledger append
+and load semantics, the median-baseline comparison, the rendered delta
+table, and the ``tools/bench_history.py`` CLI (including the acceptance
+requirement that ``--check`` exits non-zero on a synthetic regressed
+entry and zero with ``--report-only``).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.benchgate import (
+    BASELINE_WINDOW,
+    Delta,
+    append_history,
+    check_latest,
+    extract_throughputs,
+    load_history,
+    render_deltas,
+)
+
+
+def _load_cli():
+    path = Path(__file__).parents[1] / "tools" / "bench_history.py"
+    spec = importlib.util.spec_from_file_location("bench_history", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_bench(directory, name, document):
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps(document), encoding="utf-8"
+    )
+
+
+def _append_synthetic(history, factor, sha, ts):
+    """One ledger entry shaped like a real sweep benchmark, scaled."""
+    entry = {
+        "ts": ts,
+        "sha": sha,
+        "host": "testhost",
+        "scale": 16.0,
+        "bench": {
+            "BENCH_sweep": {
+                "serial.refs_per_sec": 100000.0 * factor,
+                "parallel.refs_per_sec": 300000.0 * factor,
+                "derived.parallel_speedup": 3.0 * factor,
+            }
+        },
+    }
+    with Path(history).open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry) + "\n")
+    return entry
+
+
+class TestExtractThroughputs:
+    def test_matches_refs_per_sec_anywhere_and_speedup_suffix(self):
+        document = {
+            "gauges": {
+                "simulate.dir1b.refs_per_sec": 5.0,
+                "simulate.packed.fast.speedup": 2.0,
+            },
+            "derived": {"parallel_speedup": 3.5},
+            "serial": {"refs_per_sec": 100.0, "wall_s": 9.0},
+        }
+        found = extract_throughputs(document)
+        assert found == {
+            "gauges.simulate.dir1b.refs_per_sec": 5.0,
+            "gauges.simulate.packed.fast.speedup": 2.0,
+            "derived.parallel_speedup": 3.5,
+            "serial.refs_per_sec": 100.0,
+        }
+
+    def test_skips_zero_negative_bool_and_unrelated_leaves(self):
+        document = {
+            "a.refs_per_sec": 0.0,
+            "b.refs_per_sec": -1.0,
+            "c.refs_per_sec": True,
+            "speedup_factor": 4.0,  # "speedup" not at the end of the path
+            "wall_s": 2.0,
+        }
+        assert extract_throughputs(document) == {}
+
+
+class TestLedger:
+    def test_append_collects_all_artifacts(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        _write_bench(results, "simulator", {"gauges": {"x.refs_per_sec": 9.0}})
+        _write_bench(results, "sweep", {"derived": {"parallel_speedup": 2.0}})
+        _write_bench(results, "empty", {"wall_s": 1.0})
+        history = tmp_path / "history.jsonl"
+        entry = append_history(
+            history, results, sha="abc", host="h", scale=16.0, timestamp=1.0
+        )
+        assert set(entry["bench"]) == {"BENCH_simulator", "BENCH_sweep"}
+        assert entry["ts"] == 1.0
+        loaded = load_history(history)
+        assert len(loaded) == 1 and loaded[0]["sha"] == "abc"
+
+    def test_append_returns_none_when_nothing_qualifies(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        _write_bench(results, "empty", {"wall_s": 1.0})
+        (results / "BENCH_bad.json").write_text("{not json", encoding="utf-8")
+        history = tmp_path / "history.jsonl"
+        assert append_history(
+            history, results, sha="abc", host="h", scale=16.0
+        ) is None
+        assert not history.exists()
+
+    def test_load_skips_torn_and_alien_lines(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        good = {"ts": 1, "sha": "a", "scale": 16, "bench": {"B": {"m": 1.0}}}
+        history.write_text(
+            json.dumps(good) + "\n" + '{"torn": \n' + '"just a string"\n',
+            encoding="utf-8",
+        )
+        assert load_history(history) == [good]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestCheckLatest:
+    def test_needs_two_same_scale_entries(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _append_synthetic(history, 1.0, "one", ts=1)
+        assert check_latest(load_history(history)) == ([], [])
+        # A second entry at a *different* scale still cannot gate.
+        entry = _append_synthetic(history, 1.0, "two", ts=2)
+        entries = load_history(history)
+        entries[-1]["scale"] = 4.0
+        assert check_latest(entries) == ([], [])
+        assert entry["scale"] == 16.0
+
+    def test_within_noise_band_passes(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _append_synthetic(history, 1.0, "one", ts=1)
+        _append_synthetic(history, 0.9, "two", ts=2)
+        regressions, others = check_latest(load_history(history))
+        assert regressions == []
+        assert len(others) == 3
+
+    def test_regression_detected_beyond_band(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _append_synthetic(history, 1.0, "one", ts=1)
+        _append_synthetic(history, 0.3, "bad", ts=2)
+        regressions, others = check_latest(load_history(history))
+        assert len(regressions) == 3 and others == []
+        assert all(delta.change_pct == pytest.approx(-70.0)
+                   for delta in regressions)
+
+    def test_baseline_is_median_of_recent_window(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        # One ancient outlier beyond the window, then a stable run of
+        # baselines; the median should shrug off a single slow entry.
+        factors = [50.0] + [1.0, 1.0, 0.2, 1.0, 1.0]
+        for index, factor in enumerate(factors):
+            _append_synthetic(history, factor, f"s{index}", ts=index)
+        _append_synthetic(history, 0.95, "latest", ts=99)
+        entries = load_history(history)
+        assert len(entries[:-1]) > BASELINE_WINDOW
+        regressions, others = check_latest(entries)
+        assert regressions == []
+        sample = next(
+            d for d in others if d.metric == "serial.refs_per_sec"
+        )
+        assert sample.baseline == pytest.approx(100000.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_latest([], noise_pct=-5)
+
+
+class TestRenderDeltas:
+    def test_flags_regressions_and_states_the_verdict(self):
+        regressed = Delta("B", "serial.refs_per_sec", 100.0, 40.0)
+        fine = Delta("B", "derived.parallel_speedup", 3.0, 3.1)
+        text = render_deltas([regressed], [fine], noise_pct=30.0)
+        assert "REGRESSED" in text
+        assert "B:serial.refs_per_sec" in text
+        assert "-60.0%" in text
+        assert "1 metric(s) regressed beyond the 30% noise band" in text
+
+    def test_all_clear_verdict(self):
+        fine = Delta("B", "m.refs_per_sec", 100.0, 101.0)
+        text = render_deltas([], [fine], noise_pct=30.0)
+        assert "all 1 metrics within the 30% noise band" in text
+
+    def test_empty_comparison_message(self):
+        assert "nothing to compare" in render_deltas([], [])
+
+
+class TestBenchHistoryCli:
+    def test_append_then_synthetic_regression_gates(self, tmp_path, capsys):
+        cli = _load_cli()
+        results = tmp_path / "results"
+        results.mkdir()
+        _write_bench(
+            results, "sweep",
+            {"serial": {"refs_per_sec": 100000.0},
+             "derived": {"parallel_speedup": 3.0}},
+        )
+        history = tmp_path / "history.jsonl"
+        base = ["--history", str(history), "--results", str(results)]
+
+        # First append: one entry, nothing to compare yet.
+        assert cli.main(base + ["--sha", "aaa", "--scale", "16"]) == 0
+        assert "appended aaa" in capsys.readouterr().out
+        assert cli.main(base + ["--check"]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+        # Second identical append passes the gate.
+        assert cli.main(base + ["--sha", "bbb", "--scale", "16"]) == 0
+        capsys.readouterr()
+        assert cli.main(base + ["--check"]) == 0
+        assert "within the" in capsys.readouterr().out
+
+        # A synthetic 0.3x entry must fail --check ...
+        _append_synthetic(history, 0.3, "ccc", ts=3)
+        assert cli.main(base + ["--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "baseline" in out
+
+        # ... but --report-only prints the same table and exits 0.
+        assert cli.main(base + ["--check", "--report-only"]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_append_with_no_artifacts_exits_one(self, tmp_path, capsys):
+        cli = _load_cli()
+        results = tmp_path / "empty"
+        results.mkdir()
+        assert cli.main(
+            ["--history", str(tmp_path / "h.jsonl"),
+             "--results", str(results)]
+        ) == 1
+        assert "nothing appended" in capsys.readouterr().err
+
+    def test_check_on_empty_history_is_clean(self, tmp_path, capsys):
+        cli = _load_cli()
+        assert cli.main(
+            ["--history", str(tmp_path / "h.jsonl"), "--check"]
+        ) == 0
+        assert "no entries" in capsys.readouterr().out
+
+    def test_negative_noise_is_a_usage_error(self, tmp_path):
+        cli = _load_cli()
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--check", "--noise-pct", "-1"])
+        assert excinfo.value.code == 2

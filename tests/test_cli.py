@@ -543,3 +543,100 @@ class TestErrorPaths:
             main(["modelcheck", "dir0b"])
         assert excinfo.value.code == 1
         assert "VIOLATION" in capsys.readouterr().out
+
+class TestTelemetryCli:
+    """The distributed-telemetry surface: span export, OpenMetrics,
+    heartbeat/status flags, and the ``status`` verb."""
+
+    def test_sweep_emits_spans_openmetrics_and_status(self, tmp_path, capsys):
+        import importlib.util
+        import json
+        from pathlib import Path
+
+        spans = tmp_path / "spans.json"
+        metrics = tmp_path / "metrics.om"
+        status = tmp_path / "sweep.status.json"
+        assert main(
+            FAST
+            + ["--jobs", "2"]
+            + SWEEP
+            + [
+                "--emit-spans", str(spans),
+                "--metrics-openmetrics", str(metrics),
+                "--status-file", str(status),
+                "--heartbeat-seconds", "0.05",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "wrote" in err and "spans" in err
+        assert "wrote OpenMetrics" in err
+
+        # The span trace passes the real validator and spans two workers.
+        tool = Path(__file__).parents[1] / "tools" / "validate_trace.py"
+        spec = importlib.util.spec_from_file_location("validate_trace", tool)
+        validator = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(validator)
+        summary = validator.validate_trace(spans)
+        assert "OK" in summary and "spans" in summary
+        events = json.loads(spans.read_text())["traceEvents"]
+        worker_pids = {
+            e["pid"]
+            for e in events
+            if e.get("ph") == "X" and e.get("cat") in ("attempt", "stage")
+        }
+        assert len(worker_pids) >= 2
+
+        text = metrics.read_text()
+        assert text.startswith("# TYPE")
+        assert "repro_sweep_simulated_total 6" in text
+        assert text.endswith("# EOF\n")
+
+        snapshot = json.loads(status.read_text())
+        assert snapshot["state"] == "finished"
+        assert snapshot["done"] == snapshot["cells"] == 6
+
+        # A follow-up status invocation (separate entry point) renders it.
+        assert main(["status", "--status-file", str(status)]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "6/6 done" in out
+
+    def test_worker_metrics_merge_into_metrics_json(self, tmp_path):
+        """Satellite regression, end to end: cache hits scored inside
+        --jobs workers must show up in the parent's --metrics-json."""
+        import json
+
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        warm = tmp_path / "warm.json"
+        assert main(FAST + cache + SWEEP) == 0  # populate the cache
+        assert main(
+            FAST + ["--jobs", "2"] + cache + SWEEP
+            + ["--metrics-json", str(warm)]
+        ) == 0
+        payload = json.loads(warm.read_text())
+        assert payload["registry"]["counters"]["sweep.cache_hits"] == 6
+        assert payload["registry"]["counters"]["cache.hit"] >= 6
+
+    def test_compare_accepts_openmetrics_flag(self, tmp_path):
+        metrics = tmp_path / "compare.om"
+        assert main(
+            FAST
+            + ["compare", "--schemes", "dir0b",
+               "--metrics-openmetrics", str(metrics)]
+        ) == 0
+        assert metrics.read_text().endswith("# EOF\n")
+
+    def test_negative_heartbeat_is_a_usage_error(self, capsys):
+        assert main(FAST + SWEEP + ["--heartbeat-seconds", "-1"]) == 2
+        assert "heartbeat" in capsys.readouterr().err
+
+    def test_emit_spans_unwritable_path_exits_cleanly(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "spans.json"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(FAST + SWEEP + ["--emit-spans", str(missing)])
+
+    def test_openmetrics_unwritable_path_exits_cleanly(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "m.om"
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(
+                FAST + SWEEP + ["--metrics-openmetrics", str(missing)]
+            )

@@ -373,3 +373,68 @@ class TestSweepMetricsRegistry:
         events = json.loads(path.read_text())["traceEvents"]
         pids = {event["pid"] for event in events if event["ph"] == "X"}
         assert pids == {0, 1}
+
+class TestValidateTraceTool:
+    """tools/validate_trace.py against real sweep output (not synthetic
+    fixtures): a multi-cell per-reference trace and a span trace from the
+    same instrumented sweep must both pass the shipped validator."""
+
+    @staticmethod
+    def _validator():
+        import importlib.util
+        from pathlib import Path
+
+        tool = Path(__file__).parents[1] / "tools" / "validate_trace.py"
+        spec = importlib.util.spec_from_file_location("validate_trace", tool)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_real_sweep_traces_validate(self, tmp_path):
+        from repro.obs import SpanRecorder
+
+        validator = self._validator()
+        specs = [
+            RunSpec(protocol=name, trace="POPS", scale=SCALE)
+            for name in ("dir0b", "dir1b", "dragon")
+        ]
+        ref_trace = tmp_path / "refs.json"
+        telemetry = SpanRecorder()
+        with ChromeTraceSink(ref_trace) as sink:
+            report = run_sweep(
+                specs,
+                probe_factory=lambda spec: sink.cell(spec.cell_id()),
+                telemetry=telemetry,
+            )
+        assert report.simulations == 3
+
+        summary = validator.validate_trace(ref_trace)
+        assert "OK" in summary
+        assert "3 cell tracks" in summary
+        assert "spans" not in summary  # per-reference slices carry no span ids
+
+        span_trace = tmp_path / "spans.json"
+        telemetry.write_chrome_trace(span_trace)
+        span_summary = validator.validate_trace(span_trace)
+        assert "OK" in span_summary
+        assert "of them spans" in span_summary
+
+        # And the CLI entry point agrees on both files at once.
+        assert validator.main([str(ref_trace), str(span_trace)]) == 0
+
+    def test_validator_rejects_a_broken_trace(self, tmp_path, capsys):
+        validator = self._validator()
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {"ph": "X", "name": "orphan", "ts": 0, "dur": 1,
+                         "pid": 7, "tid": 0}
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert validator.main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Append benchmark runs to the history ledger and gate on regressions.
+
+Two modes over ``benchmarks/results/history.jsonl`` (append-only JSONL,
+one entry per benchmark run, keyed by git SHA, host and scale):
+
+append (the default)
+    Collect throughput metrics from every ``BENCH_*.json`` in
+    ``--results`` and append one ledger entry::
+
+        python tools/bench_history.py --results benchmarks/results
+
+check (``--check``)
+    Compare the newest entry against the median of up to 5 prior
+    same-scale entries and exit 1 when any metric dropped more than
+    ``--noise-pct`` percent (``--report-only`` prints the same table but
+    always exits 0 — the PR mode)::
+
+        python tools/bench_history.py --check [--report-only]
+
+The SHA defaults to ``git rev-parse HEAD`` (or ``$GITHUB_SHA``), the host
+to the machine's node name, and the scale to ``$REPRO_BENCH_SCALE``
+(default 16) — the same knob ``benchmarks/conftest.py`` reads, so entries
+from different scales never gate against each other.
+
+See :mod:`repro.obs.benchgate` for the comparison semantics and
+``docs/observability.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.benchgate import (  # noqa: E402 - path bootstrap above
+    DEFAULT_NOISE_PCT,
+    append_history,
+    check_latest,
+    load_history,
+    render_deltas,
+)
+
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "results" / "history.jsonl"
+DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results"
+
+
+def _git_sha() -> str:
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "16"))
+    except ValueError:
+        return 16.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        metavar="FILE",
+        help=f"the ledger (default: {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        metavar="DIR",
+        help="directory holding BENCH_*.json artifacts (append mode)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare the newest entry to its baseline instead of appending",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="with --check: print the table but exit 0 even on regression",
+    )
+    parser.add_argument(
+        "--noise-pct",
+        type=float,
+        default=DEFAULT_NOISE_PCT,
+        metavar="PCT",
+        help=f"regression threshold in percent (default {DEFAULT_NOISE_PCT:g})",
+    )
+    parser.add_argument(
+        "--sha", default=None, help="override the git SHA key (append mode)"
+    )
+    parser.add_argument(
+        "--host", default=None, help="override the host key (append mode)"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override the scale key (default: $REPRO_BENCH_SCALE or 16)",
+    )
+    args = parser.parse_args(argv)
+    if args.noise_pct < 0:
+        parser.error("--noise-pct must be >= 0")
+
+    if args.check:
+        entries = load_history(args.history)
+        if not entries:
+            print(f"bench history: no entries in {args.history}")
+            return 0
+        regressions, others = check_latest(entries, noise_pct=args.noise_pct)
+        print(render_deltas(regressions, others, noise_pct=args.noise_pct))
+        if regressions and not args.report_only:
+            return 1
+        return 0
+
+    entry = append_history(
+        args.history,
+        args.results,
+        sha=args.sha if args.sha is not None else _git_sha(),
+        host=args.host if args.host is not None else platform.node(),
+        scale=args.scale if args.scale is not None else _scale(),
+    )
+    if entry is None:
+        print(
+            f"bench history: no BENCH_*.json with throughput metrics in "
+            f"{args.results}; nothing appended",
+            file=sys.stderr,
+        )
+        return 1
+    metric_count = sum(len(m) for m in entry["bench"].values())
+    print(
+        f"bench history: appended {entry['sha'][:12]} "
+        f"(scale {entry['scale']:g}, {len(entry['bench'])} artifact(s), "
+        f"{metric_count} metrics) to {args.history}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

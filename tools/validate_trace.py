@@ -6,9 +6,15 @@ JSON object with a ``traceEvents`` list; every complete (``ph: "X"``)
 event carries ``name``/``ts``/``dur``/``pid``/``tid`` with sane types;
 metadata (``ph: "M"``) events name each pid exactly once — plus the
 conventions this package's :class:`~repro.obs.probe.ChromeTraceSink`
-guarantees: non-negative integer timestamps (reference indices),
-non-negative durations (priced bus cycles), and every slice's pid
-declared by a ``process_name`` metadata event.
+guarantees: non-negative integer timestamps (reference indices, or
+microseconds for span traces), non-negative durations (priced bus
+cycles, or span microseconds), every slice's pid declared by a
+``process_name`` metadata event, and ``cat`` — when present (span traces
+set it to the span kind) — a non-empty string.
+
+Span traces (``--emit-spans``) and per-reference traces (``--emit-trace``)
+share this format, so the same validator covers both; the summary counts
+slices that carry span ids.
 
 Usage::
 
@@ -48,6 +54,7 @@ def validate_trace(path: Path) -> str:
 
     named_pids = set()
     slices = 0
+    span_slices = 0
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             raise TraceError(f"event {index} is not an object")
@@ -85,12 +92,23 @@ def validate_trace(path: Path) -> str:
                     f"slice {index} pid {event['pid']} has no process_name "
                     "metadata (cell tracks must be declared before slices)"
                 )
+            if "cat" in event and (
+                not isinstance(event["cat"], str) or not event["cat"]
+            ):
+                raise TraceError(
+                    f"slice {index} cat must be a non-empty string"
+                )
+            if isinstance(event.get("args"), dict) and "span_id" in event["args"]:
+                span_slices += 1
         else:
             raise TraceError(f"event {index} has unexpected ph {phase!r}")
 
     if slices == 0:
         raise TraceError("trace contains no slices")
-    return f"{path}: OK ({slices} slices across {len(named_pids)} cell tracks)"
+    detail = f"{slices} slices across {len(named_pids)} cell tracks"
+    if span_slices:
+        detail += f", {span_slices} of them spans"
+    return f"{path}: OK ({detail})"
 
 
 def main(argv: list[str]) -> int:
