@@ -1,0 +1,101 @@
+"""Service-path performance: references per second, submit to result.
+
+Not a paper experiment — times the full coherence-as-a-service path
+(HTTP submit -> queue -> child sweep process -> result fetch) and emits
+``benchmarks/results/BENCH_service.json`` so the bench-history gate
+(``tools/bench_history.py --check``) watches the serving overhead the
+same way it watches the simulator core.  Correctness is asserted before
+any timing claim: the served counter signatures must equal a direct
+``run_sweep`` of the same grid.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import BENCH_SCALE_DENOMINATOR, RESULTS_DIR
+
+from repro.obs import MetricsRegistry
+from repro.runner.sweep import run_sweep
+from repro.service import (
+    JobManager,
+    ServiceClient,
+    parse_request,
+    start_background,
+)
+
+#: The service benchmark's own grid — two protocols, one trace, at the
+#: session's bench scale (REPRO_BENCH_SCALE, default 16).
+_REQUEST = {
+    "schema": 1,
+    "sweep": {
+        "protocols": ["dir0b", "dragon"],
+        "traces": ["POPS"],
+        "scale": BENCH_SCALE_DENOMINATOR,
+    },
+}
+
+
+def test_emit_bench_service_json(save_result):
+    """Publish service-path timings as BENCH_service.json via the registry."""
+    registry = MetricsRegistry()
+    root = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    manager = JobManager(root, workers=2)
+    handle = start_background(manager)
+    client = ServiceClient(handle.base_url, client="bench")
+    try:
+        submit_timer = registry.timer("service.submit_to_result.seconds")
+        with submit_timer.time():
+            job = client.submit(_REQUEST)
+            done = client.wait(job["id"], timeout=600)
+            result = client.result(job["id"])
+        assert done["state"] == "finished"
+        assert result["simulated"] == 2
+
+        # Prove the served payload bit-identical to a direct run before
+        # recording any throughput number.
+        direct = run_sweep(list(parse_request(_REQUEST).specs))
+        assert [entry["signature"] for entry in result["outcomes"]] == [
+            outcome.result.counters.signature()
+            for outcome in direct.outcomes
+        ]
+
+        references = result["total_references"]
+        wall = submit_timer.total_seconds
+        refs_per_sec = references / wall
+        registry.gauge("service.submit_to_result.refs_per_sec").set(
+            refs_per_sec
+        )
+        registry.gauge("service.references").set(references)
+
+        # The dedupe path: an identical grid served from the cache, no
+        # simulation — this is the latency a warm client sees.
+        dedupe_start = time.perf_counter()
+        repeat = client.submit(_REQUEST)
+        repeat_result = client.result(repeat["id"])
+        dedupe_seconds = time.perf_counter() - dedupe_start
+        assert repeat["deduped"] is True
+        assert repeat_result["simulated"] == 0
+        registry.gauge("service.dedupe_round_trip.seconds").set(
+            dedupe_seconds
+        )
+    finally:
+        handle.stop(drain=False)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    registry.write_json(RESULTS_DIR / "BENCH_service.json")
+    save_result(
+        "service_throughput",
+        "\n".join(
+            [
+                "Service path (submit -> result over HTTP, "
+                f"{references:,} refs)",
+                f"cold  {wall * 1e3:10.2f}ms   "
+                f"{refs_per_sec:12,.0f} refs/sec",
+                f"warm  {dedupe_seconds * 1e3:10.2f}ms   "
+                "(dedupe: 0 simulations)",
+            ]
+        ),
+    )

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Serving sweeps: run the coherence job API and talk to it over HTTP.
+
+Starts an in-process sweep service (the same machinery behind
+``repro-coherence serve``), submits a two-protocol sweep through the
+HTTP client, streams its progress events, fetches the bit-exact result
+payload, then submits the *same* grid a second time to show the cache
+dedupe: the repeat costs zero simulations and is terminal in the submit
+response.  Finishes with a graceful drain.
+
+Run:  python examples/sweep_service.py [scale_denominator]
+
+The optional argument divides the paper's ~3.2M-reference trace lengths
+(default 128, a few seconds of runtime).
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.service import JobManager, ServiceClient, start_background
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    root = Path(tempfile.mkdtemp(prefix="sweep-service-"))
+    manager = JobManager(root, workers=2)
+    handle = start_background(manager)  # ephemeral port on localhost
+    client = ServiceClient(handle.base_url, client="example")
+    print(f"service listening on {handle.base_url}")
+
+    request = {
+        "schema": 1,
+        "sweep": {
+            "protocols": ["dir0b", "dragon"],
+            "traces": ["POPS"],
+            "scale": scale,
+        },
+    }
+
+    job = client.submit(request)
+    print(f"submitted sweep {job['id']} ({job['cells']} cells)")
+    for event in client.events(job["id"]):
+        if event["event"] == "journal":
+            record = event["record"]
+            print(f"  cell {record.get('cell', '?')}: {record.get('status')}")
+        elif event["event"] == "end":
+            print(f"  job ended: {event['state']}")
+
+    result = client.result(job["id"])
+    print(
+        f"first run: {result['simulated']} simulated, "
+        f"{result['cache_hits']} cache hits, "
+        f"{result['total_references']:,} references"
+    )
+    for outcome in result["outcomes"]:
+        signature = outcome["signature"]
+        print(
+            f"  {outcome['cell_id']}: {signature['references']} refs, "
+            f"{signature['transactions']} bus transactions"
+        )
+
+    repeat = client.submit(request)
+    print(
+        f"repeat submission {repeat['id']}: state={repeat['state']} "
+        f"deduped={repeat['deduped']}"
+    )
+    result2 = client.result(repeat["id"])
+    print(
+        f"second run: {result2['simulated']} simulated, "
+        f"{result2['cache_hits']} cache hits (served from cache)"
+    )
+    assert result2["simulated"] == 0
+    assert [o["signature"] for o in result2["outcomes"]] == [
+        o["signature"] for o in result["outcomes"]
+    ]
+    print("signatures bit-identical across submissions")
+
+    hit_line = next(
+        line
+        for line in client.metrics().splitlines()
+        if line.startswith("repro_cache_hit_total")
+    )
+    print(f"metrics: {hit_line}")
+
+    handle.stop(drain=True)
+    print("drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ Subcommands::
     repro-coherence timed SCHEME [--scale N] [--q 1]
     repro-coherence export-trace NAME FILE [--scale N] [--format text|binary]
     repro-coherence status   [--status-file FILE | --cache-dir DIR] [--watch S]
+    repro-coherence serve    --cache-dir DIR [--host H] [--port P] [--workers N]
 
 ``--scale`` is the denominator applied to the paper's trace lengths
 (``--scale 16`` simulates 1/16 of ~3.2M references per trace).  ``--jobs``
@@ -60,6 +61,12 @@ the live status snapshot; defaults next to the journal with
 ``--cache-dir``); ``status`` renders a running sweep's snapshot from a
 different process; ``profile`` prints a per-stage wall-time breakdown of
 the pipeline.
+
+Serving (see docs/service.md): ``serve`` runs the sweep runner as a
+long-lived HTTP job API rooted at ``--cache-dir`` — ``POST /sweeps``
+through ``GET /metrics``, with per-client rate limits, bounded-queue
+backpressure and graceful drain on SIGTERM.  The global ``--jobs`` flag
+caps the per-sweep worker count a request may ask for.
 """
 
 from __future__ import annotations
@@ -531,6 +538,67 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="re-render every SECONDS until the sweep leaves 'running'",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the sweep runner as a long-lived HTTP job API (POST /sweeps "
+            "... GET /metrics) rooted at --cache-dir"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent sweep jobs (each runs in its own process)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="queued jobs beyond the running ones before 503s (default 16)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client submissions per second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=10,
+        metavar="N",
+        help="per-client burst size for --rate-limit (default 10)",
+    )
+    serve.add_argument(
+        "--job-ttl",
+        type=float,
+        default=3600.0,
+        metavar="S",
+        help="seconds to keep finished jobs and their artifacts (default 3600)",
+    )
+    serve.add_argument(
+        "--max-cells",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="largest sweep grid a single request may expand to",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds to wait for running sweeps on SIGTERM (default 30)",
+    )
     return parser
 
 
@@ -969,11 +1037,15 @@ def _status_snapshot_path(args: argparse.Namespace) -> Path:
             "most recent snapshot published there"
         )
     directory = Path(cache_dir)
-    candidates = sorted(
-        (p for p in directory.glob(f"*{STATUS_SUFFIX}") if p.is_file()),
-        key=lambda p: p.stat().st_mtime,
-        reverse=True,
-    )
+    stamped = []
+    for p in directory.glob(f"*{STATUS_SUFFIX}"):
+        # stat() each candidate defensively: a concurrent cache clean can
+        # delete a snapshot between the glob and the stat.
+        try:
+            stamped.append((p.stat().st_mtime, p))
+        except OSError:
+            continue
+    candidates = [p for _, p in sorted(stamped, reverse=True)]
     if not candidates:
         raise UsageError(
             f"status: no *{STATUS_SUFFIX} snapshot in {directory} (is a "
@@ -998,22 +1070,67 @@ def _cmd_status(args: argparse.Namespace) -> int:
     if args.watch is not None and args.watch <= 0:
         raise UsageError("status: --watch must be positive")
     path = _status_snapshot_path(args)
-    first = True
+    rendered = False
     while True:
         status = read_status(path)
         if status is None:
+            if args.watch is not None and rendered:
+                # The snapshot vanished mid-watch (cache dir cleaned, sweep
+                # artifacts reaped).  That ends the watch, it isn't an error.
+                print(
+                    f"repro-coherence: status: snapshot {path} disappeared; "
+                    "ending watch",
+                    file=sys.stderr,
+                )
+                return 0
             print(
                 f"repro-coherence: status: no readable snapshot at {path}",
                 file=sys.stderr,
             )
             return 1
-        if not first:
+        if rendered:
             print()
-        first = False
+        rendered = True
         print(render_status(status, _journal_counts(status)))
         if args.watch is None or status.get("state") != "running":
             return 0
         time.sleep(args.watch)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP job API until SIGTERM/SIGINT, then drain."""
+    if not args.cache_dir:
+        raise UsageError(
+            "serve: --cache-dir DIR is required (the service root: shared "
+            "result cache plus per-job artifacts live under it)"
+        )
+    if args.workers < 1:
+        raise UsageError("serve: --workers must be >= 1")
+    if args.queue_limit < 1:
+        raise UsageError("serve: --queue-limit must be >= 1")
+    if args.rate_limit is not None and args.rate_limit < 0:
+        raise UsageError("serve: --rate-limit must be >= 0")
+    if args.burst < 1:
+        raise UsageError("serve: --burst must be >= 1")
+
+    from .service import JobManager, run_service
+
+    manager = JobManager(
+        Path(args.cache_dir),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_cells=args.max_cells,
+        max_jobs=_jobs(args),
+        rate_per_sec=args.rate_limit,
+        burst=args.burst,
+        job_ttl=args.job_ttl,
+    )
+    return run_service(
+        manager,
+        host=args.host,
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+    )
 
 
 def _cmd_export_trace(args: argparse.Namespace) -> None:
@@ -1044,6 +1161,7 @@ _COMMANDS = {
     "timed": _cmd_timed,
     "export-trace": _cmd_export_trace,
     "status": _cmd_status,
+    "serve": _cmd_serve,
 }
 
 

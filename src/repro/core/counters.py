@@ -86,6 +86,38 @@ class SimulationCounters:
     def frequencies(self) -> "EventFrequencies":
         return EventFrequencies(self.events, self.references)
 
+    def signature(self) -> Dict[str, object]:
+        """Canonical JSON-able identity of everything this run counted.
+
+        Two runs are bit-identical exactly when their signatures compare
+        equal — the contract the backend differential suite, the telemetry
+        proofs and the sweep service's result format all rely on.  Keys are
+        strings (enum values, decimal fan-out sizes) and insertion order is
+        sorted, so the signature survives a JSON round trip unchanged.
+        """
+        return {
+            "references": self.ops.references,
+            "transactions": self.ops.transactions,
+            "events": {
+                event.value: count
+                for event, count in sorted(
+                    self.events.items(), key=lambda item: item[0].value
+                )
+            },
+            "ops": {
+                op.value: count
+                for op, count in sorted(
+                    self.ops.ops.items(), key=lambda item: item[0].value
+                )
+            },
+            "fanout": {
+                str(size): count
+                for size, count in sorted(self.fanout.as_dict().items())
+            },
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+        }
+
 
 class EventFrequencies:
     """Event rates as percentages of all references (the Table 4 view)."""

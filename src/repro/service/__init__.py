@@ -1,0 +1,50 @@
+"""Coherence-as-a-service: the sweep runner behind an HTTP job API.
+
+The package splits into four layers, each usable on its own:
+
+- :mod:`repro.service.schema` — the versioned request document and the
+  JSON result payload (:func:`~repro.service.schema.parse_request`,
+  :func:`~repro.service.schema.report_payload`).
+- :mod:`repro.service.jobs` — :class:`~repro.service.jobs.JobManager`:
+  queueing, dedupe against the shared :class:`~repro.runner.cache.ResultCache`,
+  per-client rate limiting, TTL eviction, cancellation and drain.  Pure
+  threads + one process per running sweep; no asyncio, so it unit-tests
+  without an event loop.
+- :mod:`repro.service.http` — the asyncio HTTP front end
+  (:class:`~repro.service.http.SweepService`,
+  :func:`~repro.service.http.run_service`) mapping the manager onto
+  ``POST /sweeps`` … ``GET /metrics``.
+- :mod:`repro.service.client` — :class:`~repro.service.client.ServiceClient`,
+  a stdlib-only client used by the tests, the CI smoke job and
+  ``examples/sweep_service.py``.
+
+See ``docs/service.md`` for the API reference and deployment notes.
+"""
+
+from .client import ServiceClient, ServiceError
+from .http import ServiceHandle, SweepService, run_service, start_background
+from .jobs import JobManager, JobState, QueueFull, RateLimited, ServiceDraining
+from .schema import (
+    REQUEST_SCHEMA_VERSION,
+    RequestError,
+    parse_request,
+    report_payload,
+)
+
+__all__ = [
+    "JobManager",
+    "JobState",
+    "QueueFull",
+    "RateLimited",
+    "ServiceDraining",
+    "REQUEST_SCHEMA_VERSION",
+    "RequestError",
+    "parse_request",
+    "report_payload",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "SweepService",
+    "run_service",
+    "start_background",
+]

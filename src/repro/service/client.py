@@ -1,0 +1,181 @@
+"""A stdlib HTTP client for the sweep service.
+
+``http.client`` only — usable from the test suite, the CI smoke job and
+any machine with a bare Python.  Every call opens one connection (the
+server closes after each response anyway) and decodes JSON bodies;
+non-2xx responses raise :class:`ServiceError` carrying the status code
+and the decoded error payload.
+
+>>> client = ServiceClient("http://127.0.0.1:8321")
+>>> job = client.submit({"sweep": {"protocols": ["dir0b"], "scale": 512}})
+>>> done = client.wait(job["id"])
+>>> result = client.result(job["id"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response: ``status`` plus the server's error payload."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        self.status = status
+        self.payload = payload
+        detail = ""
+        if isinstance(payload, dict) and "error" in payload:
+            detail = f": {payload['error']}"
+        super().__init__(f"HTTP {status}{detail}")
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        if isinstance(self.payload, dict):
+            value = self.payload.get("retry_after_s")
+            if isinstance(value, (int, float)):
+                return float(value)
+        return None
+
+
+class ServiceClient:
+    """Talks to one sweep service at ``base_url``.
+
+    ``client`` names this caller for the server's per-client rate
+    buckets (the ``X-Client`` header); ``timeout`` is the per-request
+    socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        client: str = "python-client",
+        timeout: float = 60.0,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.client_name = client
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"X-Client": self.client_name}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode() or "null")
+            except json.JSONDecodeError:
+                decoded = {"raw": raw.decode(errors="replace")}
+            if response.status >= 400:
+                raise ServiceError(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # -- API -------------------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, request: dict) -> Dict:
+        """POST a sweep document; returns the job snapshot (id, state...)."""
+        return self._request("POST", "/sweeps", body=request)
+
+    def list_jobs(self) -> Dict:
+        return self._request("GET", "/sweeps")
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/sweeps/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        """The finished report payload (raises 409 ServiceError earlier)."""
+        return self._request("GET", f"/sweeps/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/sweeps/{job_id}/cancel")
+
+    def metrics(self) -> str:
+        """The raw OpenMetrics exposition text."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", "/metrics", headers={"X-Client": self.client_name}
+            )
+            response = connection.getresponse()
+            raw = response.read().decode()
+            if response.status >= 400:
+                raise ServiceError(response.status, {"error": raw})
+            return raw
+        finally:
+            connection.close()
+
+    def events(self, job_id: str) -> Iterator[Dict]:
+        """Stream the job's NDJSON events until the server closes."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET",
+                f"/sweeps/{job_id}/events",
+                headers={"X-Client": self.client_name},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read().decode()
+                try:
+                    payload = json.loads(raw or "null")
+                except json.JSONDecodeError:
+                    payload = {"error": raw}
+                raise ServiceError(response.status, payload)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            connection.close()
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.2,
+    ) -> Dict:
+        """Poll ``/sweeps/{id}`` until the job is terminal; returns it.
+
+        Raises :class:`TimeoutError` if it is still live at the deadline.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in ("finished", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {job_id} still {snapshot['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

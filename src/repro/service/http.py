@@ -1,0 +1,527 @@
+"""The asyncio HTTP front end over :class:`~repro.service.jobs.JobManager`.
+
+Pure stdlib: ``asyncio.start_server`` plus a minimal HTTP/1.1
+request parser — no web framework, per the north-star's
+no-hard-dependency rule.  Every response closes its connection
+(``Connection: close``), which keeps the parser honest and the service
+immune to slow-loris keep-alive games.
+
+Routes (see ``docs/service.md`` for the full reference)::
+
+    POST   /sweeps               submit a sweep          201 / 200 dedupe
+    GET    /sweeps               list jobs
+    GET    /sweeps/{id}          status snapshot         404 unknown
+    GET    /sweeps/{id}/result   finished report JSON    409 until terminal
+    GET    /sweeps/{id}/events   NDJSON progress stream
+    POST   /sweeps/{id}/cancel   request cancellation
+    DELETE /sweeps/{id}          alias for cancel
+    GET    /metrics              OpenMetrics exposition
+    GET    /healthz              liveness + drain state
+
+Backpressure surfaces as status codes, never queues hidden in the
+server: 422 invalid schema, 429 rate-limited (with ``Retry-After``),
+503 queue-full or draining.  The blocking manager calls run through
+``asyncio.to_thread`` so one slow submission cannot stall the loop.
+
+:func:`run_service` is the blocking entry the ``serve`` CLI verb uses —
+it installs SIGTERM/SIGINT handlers that drain the manager before the
+loop exits.  :func:`start_background` runs the same server on a daemon
+thread and hands back a :class:`ServiceHandle`, which is how the tests,
+the benchmark and ``examples/sweep_service.py`` embed a live service
+in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from typing import Dict, Optional, Tuple
+
+from .jobs import (
+    JobManager,
+    JobState,
+    QueueFull,
+    RateLimited,
+    ServiceDraining,
+)
+from .schema import RequestError
+
+__all__ = ["SweepService", "ServiceHandle", "run_service", "start_background"]
+
+#: Largest accepted request body, in bytes.  Sweep documents are small;
+#: anything bigger is a mistake or an attack.
+MAX_BODY_BYTES = 1 << 20
+
+#: Seconds between poll rounds while streaming a job's events.
+EVENT_POLL_SECONDS = 0.2
+
+_MARKER_KINDS = frozenset({"cache_hit", "reprice", "retry", "timeout", "fault"})
+
+
+class _HttpError(Exception):
+    """Internal short-circuit carrying a ready-to-send error response."""
+
+    def __init__(self, status: int, payload: dict, headers=()) -> None:
+        self.status = status
+        self.payload = payload
+        self.headers = tuple(headers)
+        super().__init__(f"HTTP {status}")
+
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class SweepService:
+    """One listening socket mapping HTTP onto a :class:`JobManager`."""
+
+    def __init__(
+        self, manager: JobManager, host: str = "127.0.0.1", port: int = 8321
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- server lifecycle ------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request plumbing ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers, body = await self._read_request(reader)
+            except _HttpError as error:
+                await self._send_json(
+                    writer, error.status, error.payload, error.headers
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return
+            self.manager.registry.counter("service.http_requests").inc()
+            client = headers.get(
+                "x-client", writer.get_extra_info("peername", ("unknown",))[0]
+            )
+            try:
+                await self._dispatch(writer, method, path, headers, body, client)
+            except _HttpError as error:
+                await self._send_json(
+                    writer, error.status, error.payload, error.headers
+                )
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as error:  # last-resort 500, never a hung socket
+                await self._send_json(
+                    writer,
+                    500,
+                    {"error": f"{type(error).__name__}: {error}"},
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str], bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise ConnectionError("client closed before sending a request")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, {"error": "malformed request line"})
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413,
+                {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"},
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, headers=()
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        await self._send_raw(
+            writer,
+            status,
+            body,
+            (("Content-Type", "application/json"),) + tuple(headers),
+        )
+
+    async def _send_raw(
+        self, writer: asyncio.StreamWriter, status: int, body: bytes, headers=()
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers)
+        lines.append(f"Content-Length: {len(body)}")
+        lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        client: str,
+    ) -> None:
+        if path == "/sweeps":
+            if method == "POST":
+                return await self._post_sweep(writer, body, client)
+            if method == "GET":
+                jobs = await asyncio.to_thread(self.manager.list_jobs)
+                return await self._send_json(
+                    writer, 200, {"jobs": [job.snapshot() for job in jobs]}
+                )
+            raise _HttpError(405, {"error": f"{method} not allowed on {path}"})
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, {"error": "GET only"})
+            text = self.manager.registry.to_openmetrics()
+            return await self._send_raw(
+                writer,
+                200,
+                text.encode(),
+                (
+                    (
+                        "Content-Type",
+                        "application/openmetrics-text; version=1.0.0",
+                    ),
+                ),
+            )
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, {"error": "GET only"})
+            return await self._send_json(
+                writer,
+                200,
+                {"ok": True, "draining": self.manager.draining},
+            )
+        if path.startswith("/sweeps/"):
+            rest = path[len("/sweeps/") :]
+            job_id, _, action = rest.partition("/")
+            if not job_id:
+                raise _HttpError(404, {"error": "missing job id"})
+            job = await asyncio.to_thread(self.manager.get, job_id)
+            if job is None:
+                raise _HttpError(404, {"error": f"unknown sweep {job_id!r}"})
+            if not action:
+                if method == "GET":
+                    return await self._send_json(writer, 200, job.snapshot())
+                if method == "DELETE":
+                    await asyncio.to_thread(self.manager.cancel, job_id)
+                    return await self._send_json(writer, 200, job.snapshot())
+                raise _HttpError(405, {"error": "GET or DELETE"})
+            if action == "cancel" and method == "POST":
+                await asyncio.to_thread(self.manager.cancel, job_id)
+                return await self._send_json(writer, 200, job.snapshot())
+            if action == "result" and method == "GET":
+                return await self._get_result(writer, job)
+            if action == "events" and method == "GET":
+                return await self._stream_events(writer, job)
+            raise _HttpError(
+                404, {"error": f"unknown action {action!r} for {method}"}
+            )
+        raise _HttpError(404, {"error": f"no route for {path}"})
+
+    # -- handlers --------------------------------------------------------------
+
+    async def _post_sweep(
+        self, writer: asyncio.StreamWriter, body: bytes, client: str
+    ) -> None:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise _HttpError(
+                400, {"error": f"request body is not JSON: {error}"}
+            ) from None
+        try:
+            job = await asyncio.to_thread(
+                self.manager.submit, payload, client
+            )
+        except RequestError as error:
+            raise _HttpError(
+                422,
+                {"error": "invalid sweep request", "details": error.details},
+            ) from None
+        except RateLimited as error:
+            self.manager.registry.counter("service.rate_limited").inc()
+            raise _HttpError(
+                429,
+                {"error": str(error), "retry_after_s": error.retry_after},
+                (("Retry-After", f"{error.retry_after:.0f}"),),
+            ) from None
+        except (QueueFull, ServiceDraining) as error:
+            raise _HttpError(503, {"error": str(error)}) from None
+        # 200 for anything that didn't create new work (coalesced onto an
+        # existing job, or served inline from the cache); 201 otherwise.
+        snapshot = job.snapshot()
+        created = not job.deduped and snapshot["state"] in (
+            JobState.QUEUED,
+            JobState.RUNNING,
+        )
+        await self._send_json(
+            writer,
+            201 if created else 200,
+            snapshot,
+            (("Location", f"/sweeps/{job.job_id}"),),
+        )
+
+    async def _get_result(self, writer: asyncio.StreamWriter, job) -> None:
+        with job.lock:
+            state = job.state
+        if state != JobState.FINISHED:
+            raise _HttpError(
+                409,
+                {
+                    "error": f"sweep {job.job_id} is {state}, not finished",
+                    "state": state,
+                },
+            )
+        body = await asyncio.to_thread(job.result_path.read_bytes)
+        await self._send_raw(
+            writer, 200, body, (("Content-Type", "application/json"),)
+        )
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
+        """NDJSON progress: journal records live, span markers at the end.
+
+        Streams the job's journal lines (the PR 4 substrate — one record
+        per cell outcome) as they land, interleaved with status snapshots
+        whenever the heartbeat file changes, until the job goes terminal;
+        then replays the sweep's marker spans (cache hits, retries,
+        faults…) from the Chrome trace and closes with an ``end`` event.
+        """
+        reason = _REASONS[200]
+        writer.write(
+            (
+                f"HTTP/1.1 200 {reason}\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+        )
+
+        def emit(event: dict) -> bytes:
+            return (json.dumps(event, sort_keys=True) + "\n").encode()
+
+        writer.write(emit({"event": "snapshot", "job": job.snapshot()}))
+        await writer.drain()
+
+        journal_offset = 0
+        last_status: Optional[str] = None
+        while True:
+            with job.lock:
+                state = job.state
+            terminal = state in JobState.TERMINAL
+            try:
+                with open(job.journal_path, "r") as handle:
+                    handle.seek(journal_offset)
+                    chunk = handle.read()
+                    journal_offset = handle.tell()
+            except OSError:
+                chunk = ""
+            for line in chunk.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail; the next poll re-reads nothing
+                writer.write(emit({"event": "journal", "record": record}))
+            try:
+                status_text = job.status_path.read_text()
+            except OSError:
+                status_text = None
+            if status_text and status_text != last_status:
+                last_status = status_text
+                try:
+                    status = json.loads(status_text)
+                except json.JSONDecodeError:
+                    status = None
+                if status is not None:
+                    writer.write(emit({"event": "status", "status": status}))
+            await writer.drain()
+            if terminal:
+                break
+            await asyncio.sleep(EVENT_POLL_SECONDS)
+
+        for marker in self._markers(job):
+            writer.write(emit({"event": "marker", "span": marker}))
+        with job.lock:
+            final_state = job.state
+        writer.write(emit({"event": "end", "state": final_state}))
+        await writer.drain()
+
+    def _markers(self, job) -> list:
+        """The sweep's instantaneous marker spans, from its Chrome trace."""
+        try:
+            document = json.loads(job.spans_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return []
+        markers = []
+        for slice_ in document.get("traceEvents", []):
+            if slice_.get("cat") in _MARKER_KINDS:
+                markers.append(
+                    {
+                        "name": slice_.get("name"),
+                        "kind": slice_.get("cat"),
+                        "ts_us": slice_.get("ts"),
+                        "args": slice_.get("args", {}),
+                    }
+                )
+        return markers
+
+
+# -- entry points --------------------------------------------------------------
+
+
+class ServiceHandle:
+    """A service running on a background thread (tests, examples, bench)."""
+
+    def __init__(self, manager: JobManager, host: str, port: int) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._service: Optional[SweepService] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._service = SweepService(self.manager, self.host, self.port)
+
+        async def serve() -> None:
+            self.host, self.port = await self._service.start()
+            self._started.set()
+
+        self._loop.run_until_complete(serve())
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._service.stop())
+            self._loop.close()
+
+    def start(self, timeout: float = 10.0) -> "ServiceHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="sweep-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("service failed to start listening in time")
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        if drain:
+            self.manager.drain(timeout=timeout)
+        self.manager.shutdown(cancel_running=not drain)
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+
+def start_background(manager: JobManager, host: str = "127.0.0.1", port: int = 0):
+    """Serve ``manager`` on a daemon thread; returns a started handle.
+
+    ``port=0`` binds an ephemeral port — read it back from the handle.
+    """
+    return ServiceHandle(manager, host, port).start()
+
+
+def run_service(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    drain_timeout: float = 30.0,
+    ready_stream=None,
+) -> int:
+    """Serve until SIGTERM/SIGINT, then drain and exit (the CLI path).
+
+    Prints ``listening on http://host:port`` to ``ready_stream`` (stderr
+    by default) once bound — the CI smoke job polls for that line.
+    Returns 0 after a clean drain, 1 if jobs had to be abandoned.
+    """
+    stream = ready_stream if ready_stream is not None else sys.stderr
+
+    async def main() -> int:
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        service = SweepService(manager, host, port)
+        bound_host, bound_port = await service.start()
+        print(f"listening on http://{bound_host}:{bound_port}", file=stream)
+        stream.flush()
+        await stop_event.wait()
+        print("draining...", file=stream)
+        drained = await asyncio.to_thread(manager.drain, drain_timeout)
+        await service.stop()
+        manager.shutdown(cancel_running=not drained)
+        print(
+            "drained cleanly" if drained else "drain timed out; jobs abandoned",
+            file=stream,
+        )
+        return 0 if drained else 1
+
+    return asyncio.run(main())

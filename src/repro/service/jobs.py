@@ -1,0 +1,647 @@
+"""Job lifecycle behind the sweep service: queue, dedupe, run, reap.
+
+The manager is deliberately asyncio-free — plain threads, a bounded
+:class:`queue.Queue` and one ``multiprocessing`` child per running sweep —
+so every policy here (rate limits, backpressure, cancellation, drain)
+unit-tests without an event loop.  The HTTP layer in
+:mod:`repro.service.http` is a thin translation of the exceptions raised
+by :meth:`JobManager.submit` into status codes.
+
+Submission pipeline, in order::
+
+    drain check          -> ServiceDraining   (HTTP 503)
+    token bucket         -> RateLimited       (HTTP 429 + Retry-After)
+    schema validation    -> RequestError      (HTTP 422)
+    coalesce: same sweep_key already queued/running -> that job, no new work
+    dedupe: every cell already in the ResultCache   -> run inline, zero sims
+    bounded queue        -> QueueFull         (HTTP 503)
+
+The dedupe step is the service's core economy: a grid whose every cell
+(full key, or re-priceable base key) is already on disk never touches the
+worker queue — it replays through ``run_sweep`` inline against the
+service's shared cache and registry, so the ``cache.hit`` counters land
+in ``GET /metrics`` and the submitter gets a finished job in one round
+trip.  Everything else runs in a child process: ``run_sweep`` writes the
+job's own status snapshot/journal/spans under ``jobs/<id>/`` (the PR 7
+telemetry substrate, unchanged), the child ships its metrics snapshot
+back over a pipe, and the parent folds it into the service registry via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` — one scrape
+endpoint sees every sweep, however it executed.  A child process also
+makes cancellation honest: ``terminate()`` actually stops a sweep
+mid-flight, which no amount of thread flagging can.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry, set_registry
+from ..obs.telemetry import SpanRecorder, read_status, write_status
+from ..resilience.journal import SweepJournal
+from ..runner.cache import ResultCache
+from ..runner.sweep import run_sweep
+from .schema import SweepRequest, parse_request, report_payload
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobState",
+    "QueueFull",
+    "RateLimited",
+    "ServiceDraining",
+    "TokenBucket",
+]
+
+#: Default cap on queued-but-not-running jobs.
+DEFAULT_QUEUE_LIMIT = 16
+
+#: Default seconds a terminal job's record (and directory) is kept.
+DEFAULT_JOB_TTL = 3600.0
+
+
+class JobState:
+    """The job lifecycle's states (plain strings — they go over the wire)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({FINISHED, FAILED, CANCELLED})
+
+
+class RateLimited(Exception):
+    """The client's token bucket is empty; retry after ``retry_after``."""
+
+    def __init__(self, retry_after: float) -> None:
+        self.retry_after = max(retry_after, 0.001)
+        super().__init__(f"rate limited; retry in {self.retry_after:.2f}s")
+
+
+class QueueFull(Exception):
+    """The bounded job queue is at capacity (HTTP 503)."""
+
+
+class ServiceDraining(Exception):
+    """The service is shutting down and no longer accepts work (HTTP 503)."""
+
+
+class TokenBucket:
+    """Per-client token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    The clock is injectable so tests can exhaust a bucket deterministically
+    (``rate=0`` never refills).  ``rate=None`` disables limiting entirely.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: int,
+        clock=time.monotonic,
+    ) -> None:
+        if rate is not None and rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def take(self) -> None:
+        """Consume one token or raise :class:`RateLimited`."""
+        if self.rate is None:
+            return
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return
+            if self.rate == 0:
+                raise RateLimited(retry_after=60.0)
+            raise RateLimited(retry_after=(1.0 - self._tokens) / self.rate)
+
+
+@dataclass
+class Job:
+    """One submitted sweep and everything known about it."""
+
+    job_id: str
+    request: SweepRequest
+    sweep_key: str
+    directory: Path
+    client: str
+    submitted_at: float
+    state: str = JobState.QUEUED
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: True when every cell was already cached and the job ran inline
+    deduped: bool = False
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+    process: Optional[multiprocessing.process.BaseProcess] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def status_path(self) -> Path:
+        return self.directory / "status.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / "journal.jsonl"
+
+    @property
+    def result_path(self) -> Path:
+        return self.directory / "result.json"
+
+    @property
+    def spans_path(self) -> Path:
+        return self.directory / "spans.json"
+
+    def snapshot(self) -> dict:
+        """The job as JSON: manager-side lifecycle + the sweep's own status.
+
+        The sweep's heartbeat snapshot (written by ``run_sweep`` inside the
+        child) carries cell progress; the manager's record is authoritative
+        for lifecycle state, since the child cannot observe its own
+        termination.
+        """
+        with self.lock:
+            payload: dict = {
+                "id": self.job_id,
+                "state": self.state,
+                "sweep_key": self.sweep_key,
+                "cells": len(self.request.specs),
+                "deduped": self.deduped,
+                "client": self.client,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+            }
+            if self.error is not None:
+                payload["error"] = self.error
+        sweep_status = read_status(self.status_path)
+        if sweep_status is not None:
+            payload["sweep"] = sweep_status
+        return payload
+
+
+def _job_process_main(
+    conn,
+    specs,
+    options,
+    cache_dir: str,
+    job_dir: str,
+) -> None:
+    """Child-process entry: run one sweep with the full telemetry substrate.
+
+    Builds a fresh registry/cache/journal/recorder (fork inherits the
+    parent's — sharing them across the process boundary would double
+    count), runs the sweep with its status snapshot and journal under the
+    job directory, writes ``result.json`` + ``spans.json`` atomically, and
+    ships ``{"ok", "metrics", "error"?}`` back over the pipe so the parent
+    can fold this sweep into the service-wide registry.
+    """
+    job_path = Path(job_dir)
+    registry = MetricsRegistry()
+    set_registry(registry)
+    cache = ResultCache(Path(cache_dir), registry=registry)
+    journal = SweepJournal(job_path / "journal.jsonl")
+    recorder = SpanRecorder()
+    outcome: dict = {"ok": False, "metrics": {}}
+    try:
+        report = run_sweep(
+            specs,
+            jobs=options.jobs,
+            cache=cache,
+            registry=registry,
+            retry=options.retries,
+            cell_timeout=options.cell_timeout,
+            keep_going=options.keep_going,
+            journal=journal,
+            telemetry=recorder,
+            status_path=job_path / "status.json",
+        )
+        payload = report_payload(report)
+        tmp = job_path / "result.json.tmp"
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, job_path / "result.json")
+        recorder.write_chrome_trace(job_path / "spans.json")
+        outcome["ok"] = True
+    except Exception as error:  # ships the failure, never a traceback dump
+        outcome["error"] = f"{type(error).__name__}: {error}"
+    outcome["metrics"] = registry.as_dict()
+    try:
+        conn.send(outcome)
+    finally:
+        conn.close()
+
+
+class JobManager:
+    """Owns the job table, the worker pool and the shared result cache.
+
+    ``start_gate``, when given, is a :class:`threading.Event` every worker
+    waits on after marking its job RUNNING and before launching the sweep
+    process — a test seam that freezes the pipeline in a known state so
+    queue-full 503s and queued-job cancellation are deterministic.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        workers: int = 2,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        max_cells: int = 4096,
+        max_jobs: int = 4,
+        rate_per_sec: Optional[float] = None,
+        burst: int = 10,
+        job_ttl: float = DEFAULT_JOB_TTL,
+        registry: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+        start_gate: Optional[threading.Event] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.root = Path(root)
+        self.jobs_root = self.root / "jobs"
+        self.jobs_root.mkdir(parents=True, exist_ok=True)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = ResultCache(self.root / "cache", registry=self.registry)
+        self.max_cells = max_cells
+        self.max_jobs = max_jobs
+        self.job_ttl = job_ttl
+        self._rate_per_sec = rate_per_sec
+        self._burst = burst
+        self._clock = clock
+        self._start_gate = start_gate
+        self._jobs: Dict[str, Job] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
+            maxsize=queue_limit
+        )
+        self._draining = False
+        self._mp = multiprocessing.get_context()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"sweep-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, payload: object, client: str = "anonymous") -> Job:
+        """Take one request through the full admission pipeline.
+
+        Raises :class:`ServiceDraining`, :class:`RateLimited`,
+        :class:`~repro.service.schema.RequestError` or :class:`QueueFull`;
+        otherwise returns the job — possibly an existing one (coalesced on
+        identical grids) or an already-finished one (fully cache-covered,
+        ran inline).
+        """
+        if self._draining:
+            raise ServiceDraining("service is draining; not accepting sweeps")
+        self._bucket_for(client).take()
+        request = parse_request(
+            payload, max_cells=self.max_cells, max_jobs=self.max_jobs
+        )
+        sweep_key = request.sweep_key()
+
+        with self._lock:
+            for job in self._jobs.values():
+                if job.sweep_key == sweep_key and job.state not in JobState.TERMINAL:
+                    self.registry.counter("service.jobs_coalesced").inc()
+                    return job
+
+        job = Job(
+            job_id=uuid.uuid4().hex[:12],
+            request=request,
+            sweep_key=sweep_key,
+            directory=self.jobs_root / "pending",
+            client=client,
+            submitted_at=time.time(),
+        )
+        job.directory = self.jobs_root / job.job_id
+        job.directory.mkdir(parents=True, exist_ok=True)
+        (job.directory / "request.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        write_status(
+            job.status_path,
+            {"state": JobState.QUEUED, "cells": len(request.specs)},
+        )
+
+        if self._fully_cached(request):
+            # Zero simulations ahead: replay inline through the shared cache
+            # so the hits count in the service registry and the caller gets
+            # a terminal job immediately, bypassing the queue entirely.
+            job.deduped = True
+            self.registry.counter("service.jobs_deduped").inc()
+            with self._lock:
+                self._jobs[job.job_id] = job
+            self._run_inline(job)
+            return job
+
+        with self._lock:
+            self._jobs[job.job_id] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
+            self.registry.counter("service.queue_rejected").inc()
+            raise QueueFull(
+                f"job queue is full ({self._queue.maxsize} waiting)"
+            ) from None
+        self.registry.counter("service.jobs_submitted").inc()
+        return job
+
+    def _bucket_for(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self._rate_per_sec, self._burst, clock=self._clock
+                )
+                self._buckets[client] = bucket
+            return bucket
+
+    def _fully_cached(self, request: SweepRequest) -> bool:
+        """True when no cell of this grid would simulate anything.
+
+        A cell is covered by its full cache key, or — the PR 6 re-pricing
+        path — by its base key (same configuration under any
+        characterization), which ``run_sweep`` re-prices without
+        simulating.
+        """
+        for spec in request.specs:
+            if self.cache.path_for(spec.cache_key()).exists():
+                continue
+            base = spec.base_cache_key()
+            if base != spec.cache_key() and self.cache.path_for(base).exists():
+                continue
+            return False
+        return True
+
+    def _run_inline(self, job: Job) -> None:
+        """Serve a fully-cached job in the submitting thread."""
+        with job.lock:
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+        try:
+            report = run_sweep(
+                list(job.request.specs),
+                jobs=1,
+                cache=self.cache,
+                registry=self.registry,
+                keep_going=job.request.options.keep_going,
+                journal=SweepJournal(job.journal_path),
+                status_path=job.status_path,
+            )
+            payload = report_payload(report)
+            tmp = job.directory / "result.json.tmp"
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            os.replace(tmp, job.result_path)
+            with job.lock:
+                job.state = JobState.FINISHED
+                job.finished_at = time.time()
+        except Exception as error:
+            with job.lock:
+                job.state = JobState.FAILED
+                job.error = f"{type(error).__name__}: {error}"
+                job.finished_at = time.time()
+
+    # -- worker side -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        with job.lock:
+            if job.cancel_event.is_set():
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                return
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+        if self._start_gate is not None:
+            self._start_gate.wait()
+        if job.cancel_event.is_set():
+            with job.lock:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+            return
+
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_job_process_main,
+            args=(
+                child_conn,
+                list(job.request.specs),
+                job.request.options,
+                str(self.cache.directory),
+                str(job.directory),
+            ),
+            daemon=True,
+        )
+        with job.lock:
+            job.process = process
+        process.start()
+        child_conn.close()
+
+        outcome: Optional[dict] = None
+        while True:
+            if job.cancel_event.is_set():
+                process.terminate()
+                process.join(timeout=10.0)
+                with job.lock:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                    job.process = None
+                parent_conn.close()
+                write_status(job.status_path, {"state": JobState.CANCELLED})
+                return
+            if parent_conn.poll(timeout=0.1):
+                try:
+                    outcome = parent_conn.recv()
+                except EOFError:
+                    outcome = None
+                break
+            if not process.is_alive():
+                # One last poll: the child may have sent and exited between
+                # our checks.
+                if parent_conn.poll(timeout=0.1):
+                    try:
+                        outcome = parent_conn.recv()
+                    except EOFError:
+                        outcome = None
+                break
+        process.join(timeout=10.0)
+        parent_conn.close()
+
+        # Fold the child's metrics in BEFORE publishing a terminal state:
+        # a client that polls to completion and immediately scrapes
+        # /metrics must see this sweep's counters.
+        if outcome is not None and outcome.get("metrics"):
+            self.registry.merge_snapshot(outcome["metrics"])
+        with job.lock:
+            job.process = None
+            job.finished_at = time.time()
+            if outcome is None:
+                job.state = JobState.FAILED
+                job.error = (
+                    f"sweep process died (exit code {process.exitcode})"
+                )
+            elif outcome.get("ok"):
+                job.state = JobState.FINISHED
+            else:
+                job.state = JobState.FAILED
+                job.error = outcome.get("error", "sweep failed")
+        if job.state == JobState.FAILED:
+            self.registry.counter("service.jobs_failed").inc()
+            write_status(
+                job.status_path,
+                {"state": JobState.FAILED, "error": job.error},
+            )
+
+    # -- queries and lifecycle -------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        self._reap()
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        self._reap()
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda job: job.submitted_at
+            )
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the job, or None if unknown.
+
+        Queued jobs flip straight to CANCELLED (the worker skips them);
+        running jobs get their sweep process terminated by the worker's
+        poll loop within ~100ms.
+        """
+        job = self.get(job_id)
+        if job is None:
+            return None
+        with job.lock:
+            if job.state in JobState.TERMINAL:
+                return job
+            job.cancel_event.set()
+            if job.state == JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+        self.registry.counter("service.jobs_cancelled").inc()
+        return job
+
+    def _reap(self) -> None:
+        """Evict terminal jobs older than the TTL (record and directory)."""
+        if self.job_ttl is None or self.job_ttl <= 0:
+            return
+        now = time.time()
+        expired: List[Job] = []
+        with self._lock:
+            for job_id, job in list(self._jobs.items()):
+                if (
+                    job.state in JobState.TERMINAL
+                    and job.finished_at is not None
+                    and now - job.finished_at > self.job_ttl
+                ):
+                    expired.append(self._jobs.pop(job_id))
+        for job in expired:
+            self.registry.counter("service.jobs_expired").inc()
+            for name in (
+                "request.json",
+                "status.json",
+                "journal.jsonl",
+                "result.json",
+                "spans.json",
+            ):
+                try:
+                    (job.directory / name).unlink()
+                except OSError:
+                    pass
+            try:
+                job.directory.rmdir()
+            except OSError:
+                pass
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop admitting work and wait for in-flight jobs to finish.
+
+        Returns True when everything reached a terminal state in time.
+        Safe to call more than once.
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = [
+                    job
+                    for job in self._jobs.values()
+                    if job.state not in JobState.TERMINAL
+                ]
+            if not busy:
+                return True
+            time.sleep(0.05)
+        return False
+
+    def shutdown(self, cancel_running: bool = False) -> None:
+        """Tear the worker pool down (used by tests and the serve loop)."""
+        self._draining = True
+        if cancel_running:
+            with self._lock:
+                jobs = list(self._jobs.values())
+            for job in jobs:
+                with job.lock:
+                    terminal = job.state in JobState.TERMINAL
+                if not terminal:
+                    self.cancel(job.job_id)
+        for _ in self._workers:
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                break
+        for worker in self._workers:
+            worker.join(timeout=5.0)

@@ -640,3 +640,69 @@ class TestTelemetryCli:
             main(
                 FAST + SWEEP + ["--metrics-openmetrics", str(missing)]
             )
+
+
+class TestStatusWatch:
+    """The --watch loop must survive its snapshot being cleaned away."""
+
+    def _running_snapshot(self, tmp_path):
+        from repro.obs import write_status
+
+        path = tmp_path / "sweep.status.json"
+        write_status(
+            path, {"state": "running", "cells": 2, "done": 1, "ok": 1}
+        )
+        return path
+
+    def test_watch_exits_zero_when_snapshot_disappears(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Satellite regression: a cache clean mid-watch ends the watch
+        with exit 0, not a crash or an error exit."""
+        import repro.cli as cli
+
+        path = self._running_snapshot(tmp_path)
+
+        def vanish(_seconds):
+            path.unlink()
+
+        monkeypatch.setattr(cli.time, "sleep", vanish)
+        assert (
+            main(["status", "--status-file", str(path), "--watch", "0.01"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "running" in captured.out
+        assert "disappeared" in captured.err
+
+    def test_missing_snapshot_is_still_an_error_without_watch(
+        self, tmp_path, capsys
+    ):
+        missing = tmp_path / "nope.status.json"
+        assert main(["status", "--status-file", str(missing)]) == 1
+        assert "no readable snapshot" in capsys.readouterr().err
+
+    def test_cache_dir_discovery_survives_stat_race(
+        self, tmp_path, monkeypatch
+    ):
+        """A snapshot deleted between glob and stat must not crash
+        discovery while another candidate remains."""
+        import repro.cli as cli
+        from pathlib import Path
+
+        survivor = self._running_snapshot(tmp_path)
+        doomed = tmp_path / "gone.status.json"
+        doomed.write_text("{}")
+
+        real_stat = Path.stat
+
+        def racy_stat(self, **kwargs):
+            if self.name == doomed.name:
+                raise FileNotFoundError(doomed)
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racy_stat)
+        args = cli.build_parser().parse_args(
+            ["status", "--cache-dir", str(tmp_path)]
+        )
+        assert cli._status_snapshot_path(args) == survivor

@@ -53,6 +53,13 @@ class TestExamplesRun:
         assert "softflush" in result.stdout
         assert "knee" in result.stdout
 
+    def test_sweep_service(self):
+        result = _run("sweep_service.py", FAST_SCALE)
+        assert result.returncode == 0, result.stderr
+        assert "deduped=True" in result.stdout
+        assert "signatures bit-identical across submissions" in result.stdout
+        assert "drained cleanly" in result.stdout
+
     def test_every_example_has_a_smoke_test(self):
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         tested = {
@@ -61,5 +68,6 @@ class TestExamplesRun:
             "scalability_study.py",
             "custom_trace.py",
             "protocol_zoo.py",
+            "sweep_service.py",
         }
         assert scripts == tested
