@@ -84,6 +84,19 @@ def test_emit_bench_service_json(save_result):
     finally:
         handle.stop(drain=False)
 
+    # Recovery latency: restart a manager over the same root (journal has
+    # the finished jobs) and time how long journal replay takes before the
+    # service admits work again.  This is the startup cost a crash adds.
+    recovery_start = time.perf_counter()
+    reborn = JobManager(root, workers=2, registry=registry)
+    assert reborn.wait_recovered(60)
+    recovery_seconds = time.perf_counter() - recovery_start
+    try:
+        assert registry.counter_value("service.jobs_recovered") >= 1
+        registry.gauge("service.recovery.seconds").set(recovery_seconds)
+    finally:
+        reborn.shutdown()
+
     RESULTS_DIR.mkdir(exist_ok=True)
     registry.write_json(RESULTS_DIR / "BENCH_service.json")
     save_result(
@@ -92,10 +105,12 @@ def test_emit_bench_service_json(save_result):
             [
                 "Service path (submit -> result over HTTP, "
                 f"{references:,} refs)",
-                f"cold  {wall * 1e3:10.2f}ms   "
+                f"cold     {wall * 1e3:10.2f}ms   "
                 f"{refs_per_sec:12,.0f} refs/sec",
-                f"warm  {dedupe_seconds * 1e3:10.2f}ms   "
+                f"warm     {dedupe_seconds * 1e3:10.2f}ms   "
                 "(dedupe: 0 simulations)",
+                f"recover  {recovery_seconds * 1e3:10.2f}ms   "
+                "(journal replay on restart)",
             ]
         ),
     )

@@ -599,6 +599,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="seconds to wait for running sweeps on SIGTERM (default 30)",
     )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "where the crash-safe service journal lives (default: "
+            "<cache-dir>/state); restarting with the same directory "
+            "recovers interrupted jobs without re-simulating finished cells"
+        ),
+    )
+    serve.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="skip journal replay on startup (start with an empty job table)",
+    )
+    # Deterministic service-seam fault injection for the chaos harness.
+    serve.add_argument("--fault-plan", default=None, help=argparse.SUPPRESS)
     return parser
 
 
@@ -1115,6 +1132,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import JobManager, run_service
 
+    fault_plan = None
+    if args.fault_plan:
+        from .resilience import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except ValueError as error:
+            raise UsageError(f"serve: {error}")
+
     manager = JobManager(
         Path(args.cache_dir),
         workers=args.workers,
@@ -1124,6 +1150,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_per_sec=args.rate_limit,
         burst=args.burst,
         job_ttl=args.job_ttl,
+        state_dir=Path(args.state_dir) if args.state_dir else None,
+        fault_plan=fault_plan,
+        recover=not args.no_recover,
     )
     return run_service(
         manager,

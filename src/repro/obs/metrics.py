@@ -187,6 +187,16 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name)
         return instrument
 
+    def counter_value(self, name: str) -> int:
+        """Read a counter without creating it (0 when never tallied).
+
+        Health checks read counters they do not own (``cache.put_errors``,
+        ``service.journal_errors``); going through :meth:`counter` would
+        materialise empty instruments into every snapshot and exposition.
+        """
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
     # -- snapshots -------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:

@@ -30,13 +30,14 @@ from .faults import (
     CACHE_KINDS,
     FAULT_KINDS,
     PARENT_KINDS,
+    SERVICE_KINDS,
     WORKER_KINDS,
     FaultPlan,
     FaultSpec,
     FaultyCache,
     InjectedFault,
 )
-from .journal import SweepJournal
+from .journal import SweepJournal, append_jsonl, load_jsonl
 from .retry import RetryPolicy
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "ERROR_KINDS",
     "FAULT_KINDS",
     "PARENT_KINDS",
+    "SERVICE_KINDS",
     "WORKER_KINDS",
     "CellEvent",
     "CellExecutor",
@@ -56,4 +58,6 @@ __all__ = [
     "RunError",
     "SweepInterrupted",
     "SweepJournal",
+    "append_jsonl",
+    "load_jsonl",
 ]

@@ -21,10 +21,21 @@ cache (inside :class:`FaultyCache`, during ``put``)
     ``short-write`` — truncate the entry mid-pickle (torn write)
     ``corrupt``     — replace the entry with garbage bytes
 
+service (inside :class:`~repro.service.journal.ServiceJournal`, as a job
+state transition is journalled; the pattern matches the transition name —
+``"submitted"``, ``"running"``, ``"finished"``…)
+    ``journal-error`` — raise ``OSError`` on the append (disk full); the
+        service must degrade, not die
+    ``journal-torn``  — write a torn, newline-less half record, as if the
+        process were SIGKILLed mid-append
+    ``serve-kill``    — append the record, fsync, then SIGKILL the serving
+        process: a deterministic crash point for restart-recovery tests
+
 Cells are matched by :meth:`~repro.runner.spec.RunSpec.cell_id` with
 ``fnmatch`` patterns (``"dir0b:POPS:*"``, ``"*"``), and each fault names
 the 1-based attempt it fires on (``attempt=None`` fires on every attempt —
-a permanent fault no retry can outlive).
+a permanent fault no retry can outlive).  For service faults the
+"attempt" is the Nth journal append of that transition name.
 """
 
 from __future__ import annotations
@@ -48,6 +59,7 @@ __all__ = [
     "CACHE_KINDS",
     "FAULT_KINDS",
     "PARENT_KINDS",
+    "SERVICE_KINDS",
     "WORKER_KINDS",
     "FaultPlan",
     "FaultSpec",
@@ -60,7 +72,8 @@ logger = get_logger("resilience.faults")
 WORKER_KINDS = ("raise", "delay", "kill")
 PARENT_KINDS = ("interrupt",)
 CACHE_KINDS = ("put-error", "short-write", "corrupt")
-FAULT_KINDS = WORKER_KINDS + PARENT_KINDS + CACHE_KINDS
+SERVICE_KINDS = ("journal-error", "journal-torn", "serve-kill")
+FAULT_KINDS = WORKER_KINDS + PARENT_KINDS + CACHE_KINDS + SERVICE_KINDS
 
 
 class InjectedFault(RuntimeError):
@@ -178,6 +191,17 @@ class FaultPlan:
     def cache_fault(self, cell: str, attempt: int) -> Optional[FaultSpec]:
         """The first cache-seam fault for this (cell, put-attempt), if any."""
         return next(iter(self.matching(cell, attempt, CACHE_KINDS)), None)
+
+    def service_fault(self, transition: str, append: int) -> Optional[FaultSpec]:
+        """The first service-journal fault for this transition append, if any.
+
+        ``transition`` is the job state being journalled (``"submitted"``,
+        ``"running"``, …) matched against the fault's cell pattern, and
+        ``append`` is the 1-based count of appends of that transition —
+        so ``FaultSpec(cell="running", kind="serve-kill", attempt=1)``
+        crashes the server exactly as its first job starts running.
+        """
+        return next(iter(self.matching(transition, append, SERVICE_KINDS)), None)
 
     # -- serialisation --------------------------------------------------------
 

@@ -33,16 +33,65 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..obs.log import fields, get_logger
 from .errors import RunError
 
-__all__ = ["SweepJournal"]
+__all__ = ["SweepJournal", "append_jsonl", "load_jsonl"]
 
 logger = get_logger("resilience.journal")
 
 JOURNAL_SUFFIX = ".journal.jsonl"
+
+
+def append_jsonl(path: Union[str, Path], record: dict) -> None:
+    """Durably append one JSON record as a single line to ``path``.
+
+    One ``write()`` to an ``O_APPEND`` descriptor followed by ``fsync``:
+    concurrent writers interleave whole lines, and a SIGKILL mid-append
+    leaves at most one torn final line — exactly what :func:`load_jsonl`
+    tolerates.  This is the write half of every crash-safe journal in the
+    repo (the per-sweep :class:`SweepJournal` and the service's
+    :class:`~repro.service.journal.ServiceJournal`).
+    """
+    line = json.dumps(record, sort_keys=True, default=str) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def load_jsonl(path: Union[str, Path]) -> Tuple[List[dict], int]:
+    """Every decodable JSON-object line of ``path``, plus the torn count.
+
+    The read half of the crash-safe journal contract: undecodable or
+    non-object lines (a writer killed mid-append) are skipped and counted,
+    never raised — a journal with a torn tail loads up to its last intact
+    record.  A missing file is simply an empty journal.
+    """
+    records: List[dict] = []
+    torn = 0
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    torn += 1
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+                else:
+                    torn += 1
+    except FileNotFoundError:
+        return [], 0
+    return records, torn
 
 
 class SweepJournal:
@@ -74,15 +123,7 @@ class SweepJournal:
     # -- writing --------------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        line = json.dumps(record, sort_keys=True, default=str) + "\n"
-        # One write() to an O_APPEND descriptor + fsync: concurrent sweeps
-        # interleave whole lines, and a kill leaves at most one torn tail.
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, line.encode("utf-8"))
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        append_jsonl(self.path, record)
 
     def record_start(self, cells: int, jobs: int) -> None:
         self._append(
@@ -129,26 +170,12 @@ class SweepJournal:
         logged and skipped — they never poison a resume.
         """
         records: Dict[str, dict] = {}
-        torn = 0
-        try:
-            with self.path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        torn += 1
-                        continue
-                    if (
-                        isinstance(record, dict)
-                        and record.get("event") == "cell"
-                        and isinstance(record.get("key"), str)
-                    ):
-                        records[record["key"]] = record
-        except FileNotFoundError:
-            return {}
+        lines, torn = load_jsonl(self.path)
+        for record in lines:
+            if record.get("event") == "cell" and isinstance(
+                record.get("key"), str
+            ):
+                records[record["key"]] = record
         if torn:
             logger.warning(
                 "journal has undecodable lines (torn writes); skipped",

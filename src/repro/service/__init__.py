@@ -10,6 +10,11 @@ The package splits into four layers, each usable on its own:
   per-client rate limiting, TTL eviction, cancellation and drain.  Pure
   threads + one process per running sweep; no asyncio, so it unit-tests
   without an event loop.
+- :mod:`repro.service.journal` — the crash-safe
+  :class:`~repro.service.journal.ServiceJournal` of job state
+  transitions that :meth:`~repro.service.jobs.JobManager.recover`
+  replays after a restart (or a SIGKILL) so interrupted jobs resume
+  without re-simulating finished cells.
 - :mod:`repro.service.http` — the asyncio HTTP front end
   (:class:`~repro.service.http.SweepService`,
   :func:`~repro.service.http.run_service`) mapping the manager onto
@@ -24,6 +29,7 @@ See ``docs/service.md`` for the API reference and deployment notes.
 from .client import ServiceClient, ServiceError
 from .http import ServiceHandle, SweepService, run_service, start_background
 from .jobs import JobManager, JobState, QueueFull, RateLimited, ServiceDraining
+from .journal import SERVICE_JOURNAL_NAME, ServiceJournal
 from .schema import (
     REQUEST_SCHEMA_VERSION,
     RequestError,
@@ -36,7 +42,9 @@ __all__ = [
     "JobState",
     "QueueFull",
     "RateLimited",
+    "SERVICE_JOURNAL_NAME",
     "ServiceDraining",
+    "ServiceJournal",
     "REQUEST_SCHEMA_VERSION",
     "RequestError",
     "parse_request",

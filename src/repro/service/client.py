@@ -6,6 +6,16 @@ server closes after each response anyway) and decodes JSON bodies;
 non-2xx responses raise :class:`ServiceError` carrying the status code
 and the decoded error payload.
 
+Pass ``retry=RetryPolicy(retries=N)`` (the deterministic-jitter backoff
+from :mod:`repro.resilience`) and the client transparently retries
+transient failures — 429 and 503 responses and connection-level errors —
+honouring a server ``Retry-After`` when it exceeds the computed backoff.
+Retried POSTs are safe because a retrying client stamps every ``submit``
+with an ``Idempotency-Key`` header (generated when the caller gives
+none), so a request whose *response* was lost returns the original job
+instead of creating a duplicate.  The default is no retries: tests that
+assert on 429/503 see them raw.
+
 >>> client = ServiceClient("http://127.0.0.1:8321")
 >>> job = client.submit({"sweep": {"protocols": ["dir0b"], "scale": 512}})
 >>> done = client.wait(job["id"])
@@ -17,10 +27,16 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Dict, Iterator, Optional
+import uuid
+from typing import Dict, Iterator, Optional, Tuple
 from urllib.parse import urlsplit
 
+from ..resilience.retry import RetryPolicy
+
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: HTTP statuses worth retrying: rate limit and queue-full/draining.
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServiceError(Exception):
@@ -56,6 +72,7 @@ class ServiceClient:
         base_url: str,
         client: str = "python-client",
         timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.hostname:
@@ -66,11 +83,48 @@ class ServiceClient:
         self.port = split.port or 80
         self.client_name = client
         self.timeout = timeout
+        self.retry = retry
 
     # -- plumbing --------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> Dict:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(method, path, body, extra_headers)
+            except ServiceError as error:
+                if (
+                    self.retry is None
+                    or attempt > self.retry.retries
+                    or error.status not in RETRYABLE_STATUSES
+                ):
+                    raise
+                delay = self.retry.delay(f"{method} {path}", attempt)
+                retry_after = error.retry_after
+                if retry_after is not None:
+                    delay = max(delay, retry_after)
+                time.sleep(delay)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # The request may have been *applied* before the response
+                # was lost; retrying a submit is still safe because it
+                # carries an Idempotency-Key (see submit()).
+                if self.retry is None or attempt > self.retry.retries:
+                    raise
+                time.sleep(self.retry.delay(f"{method} {path}", attempt))
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
     ) -> Dict:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -80,6 +134,7 @@ class ServiceClient:
             headers = {"X-Client": self.client_name}
             if payload is not None:
                 headers["Content-Type"] = "application/json"
+            headers.update(extra_headers)
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
             raw = response.read()
@@ -98,9 +153,36 @@ class ServiceClient:
     def health(self) -> Dict:
         return self._request("GET", "/healthz")
 
-    def submit(self, request: dict) -> Dict:
-        """POST a sweep document; returns the job snapshot (id, state...)."""
-        return self._request("POST", "/sweeps", body=request)
+    def ready(self) -> Dict:
+        """The readiness payload; raises ServiceError(503) when not ready."""
+        return self._request("GET", "/readyz")
+
+    def submit(
+        self, request: dict, idempotency_key: Optional[str] = None
+    ) -> Dict:
+        """POST a sweep document; returns the job snapshot (id, state...).
+
+        When this client retries (``retry=`` was given) and neither the
+        caller nor the document supplies an idempotency key, one is
+        generated — a duplicate submit caused by a lost response then
+        returns the original job instead of double-submitting.
+        """
+        if (
+            idempotency_key is None
+            and self.retry is not None
+            and not (
+                isinstance(request, dict) and request.get("idempotency_key")
+            )
+        ):
+            idempotency_key = uuid.uuid4().hex
+        extra = (
+            (("Idempotency-Key", idempotency_key),)
+            if idempotency_key is not None
+            else ()
+        )
+        return self._request(
+            "POST", "/sweeps", body=request, extra_headers=extra
+        )
 
     def list_jobs(self) -> Dict:
         return self._request("GET", "/sweeps")

@@ -16,7 +16,8 @@ Routes (see ``docs/service.md`` for the full reference)::
     POST   /sweeps/{id}/cancel   request cancellation
     DELETE /sweeps/{id}          alias for cancel
     GET    /metrics              OpenMetrics exposition
-    GET    /healthz              liveness + drain state
+    GET    /healthz              liveness (always 200 while the loop runs)
+    GET    /readyz               readiness: 503 while recovering/draining
 
 Backpressure surfaces as status codes, never queues hidden in the
 server: 422 invalid schema, 429 rate-limited (with ``Retry-After``),
@@ -218,7 +219,9 @@ class SweepService:
     ) -> None:
         if path == "/sweeps":
             if method == "POST":
-                return await self._post_sweep(writer, body, client)
+                return await self._post_sweep(
+                    writer, body, client, headers.get("idempotency-key")
+                )
             if method == "GET":
                 jobs = await asyncio.to_thread(self.manager.list_jobs)
                 return await self._send_json(
@@ -241,13 +244,25 @@ class SweepService:
                 ),
             )
         if path == "/healthz":
+            # Liveness: the loop is answering, so the process is alive —
+            # always 200, even mid-recovery or draining.  ``degraded``
+            # carries everything a dashboard should worry about.
             if method != "GET":
                 raise _HttpError(405, {"error": "GET only"})
-            return await self._send_json(
-                writer,
-                200,
-                {"ok": True, "draining": self.manager.draining},
-            )
+            info = self.manager.health_info()
+            info["ok"] = True
+            return await self._send_json(writer, 200, info)
+        if path == "/readyz":
+            # Readiness: should a load balancer send new work here?  503
+            # while journal replay is rebuilding the job table and while
+            # draining; degraded-but-ready states (queue saturation,
+            # write-failure counters) stay 200 with the evidence attached.
+            if method != "GET":
+                raise _HttpError(405, {"error": "GET only"})
+            info = self.manager.health_info()
+            ready = not (info["recovering"] or info["draining"])
+            info["ready"] = ready
+            return await self._send_json(writer, 200 if ready else 503, info)
         if path.startswith("/sweeps/"):
             rest = path[len("/sweeps/") :]
             job_id, _, action = rest.partition("/")
@@ -278,7 +293,11 @@ class SweepService:
     # -- handlers --------------------------------------------------------------
 
     async def _post_sweep(
-        self, writer: asyncio.StreamWriter, body: bytes, client: str
+        self,
+        writer: asyncio.StreamWriter,
+        body: bytes,
+        client: str,
+        idempotency_key: Optional[str] = None,
     ) -> None:
         try:
             payload = json.loads(body.decode() or "null")
@@ -288,7 +307,7 @@ class SweepService:
             ) from None
         try:
             job = await asyncio.to_thread(
-                self.manager.submit, payload, client
+                self.manager.submit, payload, client, idempotency_key
             )
         except RequestError as error:
             raise _HttpError(

@@ -10,11 +10,25 @@ by :meth:`JobManager.submit` into status codes.
 Submission pipeline, in order::
 
     drain check          -> ServiceDraining   (HTTP 503)
+    recovery barrier     -> submissions wait until journal replay finishes
+    idempotency key      -> same key seen before -> that job, even terminal
     token bucket         -> RateLimited       (HTTP 429 + Retry-After)
     schema validation    -> RequestError      (HTTP 422)
     coalesce: same sweep_key already queued/running -> that job, no new work
     dedupe: every cell already in the ResultCache   -> run inline, zero sims
     bounded queue        -> QueueFull         (HTTP 503)
+
+Durability: every transition a job makes (submitted, queued, running —
+with the child's pid and kernel start time — finished, failed, cancelled,
+expired) is appended to a crash-safe
+:class:`~repro.service.journal.ServiceJournal` under ``state_dir``, and
+:meth:`JobManager.recover` replays it on startup: terminal jobs are
+restored as queryable records, orphaned sweep children are SIGKILLed
+(pid + start-time matched, so recycled pids are safe), and interrupted
+jobs are re-queued.  A re-queued job re-runs through the same per-job
+sweep journal and the shared :class:`~repro.runner.cache.ResultCache`,
+so every cell the dead server already finished is served as a cache hit —
+zero duplicate simulations, bit-identical counters.
 
 The dedupe step is the service's core economy: a grid whose every cell
 (full key, or re-priceable base key) is already on disk never touches the
@@ -37,19 +51,31 @@ import json
 import multiprocessing
 import os
 import queue
+import signal
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
+from ..obs.log import fields as log_fields
+from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, set_registry
 from ..obs.telemetry import SpanRecorder, read_status, write_status
+from ..resilience.faults import FaultPlan
 from ..resilience.journal import SweepJournal
 from ..runner.cache import ResultCache
 from ..runner.sweep import run_sweep
-from .schema import SweepRequest, parse_request, report_payload
+from .journal import SERVICE_JOURNAL_NAME, ServiceJournal, pid_start_time
+from .schema import (
+    RequestError,
+    SweepOptions,
+    SweepRequest,
+    parse_request,
+    report_payload,
+    validate_idempotency_key,
+)
 
 __all__ = [
     "Job",
@@ -61,11 +87,16 @@ __all__ = [
     "TokenBucket",
 ]
 
+logger = get_logger("service.jobs")
+
 #: Default cap on queued-but-not-running jobs.
 DEFAULT_QUEUE_LIMIT = 16
 
 #: Default seconds a terminal job's record (and directory) is kept.
 DEFAULT_JOB_TTL = 3600.0
+
+#: Journal-only states recovery must never resurrect a job from.
+_DROPPED_STATES = frozenset({"expired", "rejected"})
 
 
 class JobState:
@@ -154,6 +185,10 @@ class Job:
     error: Optional[str] = None
     #: True when every cell was already cached and the job ran inline
     deduped: bool = False
+    #: Client-supplied retry token this job was submitted under, if any
+    idempotency_key: Optional[str] = None
+    #: True when this job was rebuilt from the service journal at startup
+    recovered: bool = False
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     cancel_event: threading.Event = field(
         default_factory=threading.Event, repr=False
@@ -193,6 +228,7 @@ class Job:
                 "sweep_key": self.sweep_key,
                 "cells": len(self.request.specs),
                 "deduped": self.deduped,
+                "recovered": self.recovered,
                 "client": self.client,
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
@@ -200,6 +236,8 @@ class Job:
             }
             if self.error is not None:
                 payload["error"] = self.error
+            if self.idempotency_key is not None:
+                payload["idempotency_key"] = self.idempotency_key
         sweep_status = read_status(self.status_path)
         if sweep_status is not None:
             payload["sweep"] = sweep_status
@@ -279,6 +317,9 @@ class JobManager:
         registry: Optional[MetricsRegistry] = None,
         clock=time.monotonic,
         start_gate: Optional[threading.Event] = None,
+        state_dir: Optional[Path] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        recover: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -287,7 +328,15 @@ class JobManager:
         self.root = Path(root)
         self.jobs_root = self.root / "jobs"
         self.jobs_root.mkdir(parents=True, exist_ok=True)
+        self.state_dir = (
+            Path(state_dir) if state_dir is not None else self.root / "state"
+        )
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.journal = ServiceJournal(
+            self.state_dir / SERVICE_JOURNAL_NAME,
+            plan=fault_plan,
+            registry=self.registry,
+        )
         self.cache = ResultCache(self.root / "cache", registry=self.registry)
         self.max_cells = max_cells
         self.max_jobs = max_jobs
@@ -297,12 +346,14 @@ class JobManager:
         self._clock = clock
         self._start_gate = start_gate
         self._jobs: Dict[str, Job] = {}
+        self._idempotency: Dict[str, str] = {}
         self._buckets: Dict[str, TokenBucket] = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
             maxsize=queue_limit
         )
         self._draining = False
+        self._recovered = threading.Event()
         self._mp = multiprocessing.get_context()
         self._workers = [
             threading.Thread(
@@ -312,23 +363,64 @@ class JobManager:
         ]
         for worker in self._workers:
             worker.start()
+        if recover and self.journal.exists():
+            threading.Thread(
+                target=self._recover_main, name="service-recovery", daemon=True
+            ).start()
+        else:
+            self._recovered.set()
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, payload: object, client: str = "anonymous") -> Job:
+    def submit(
+        self,
+        payload: object,
+        client: str = "anonymous",
+        idempotency_key: Optional[str] = None,
+    ) -> Job:
         """Take one request through the full admission pipeline.
 
         Raises :class:`ServiceDraining`, :class:`RateLimited`,
         :class:`~repro.service.schema.RequestError` or :class:`QueueFull`;
-        otherwise returns the job — possibly an existing one (coalesced on
-        identical grids) or an already-finished one (fully cache-covered,
-        ran inline).
+        otherwise returns the job — possibly an existing one (same
+        idempotency key seen before, or coalesced on identical in-flight
+        grids) or an already-finished one (fully cache-covered, ran
+        inline).  ``idempotency_key`` (the ``Idempotency-Key`` header)
+        takes precedence over a key embedded in the request body.
         """
         if self._draining:
             raise ServiceDraining("service is draining; not accepting sweeps")
+        # Submissions wait out journal replay: the idempotency map and job
+        # table are only trustworthy once recovery has rebuilt them.
+        self._recovered.wait()
+        if idempotency_key is not None:
+            problem = validate_idempotency_key(idempotency_key)
+            if problem is not None:
+                raise RequestError(
+                    [{"field": "idempotency-key header", "error": problem}]
+                )
+        # Fast idempotent replay: a key we have seen returns its job —
+        # even a terminal one — before rate limiting, so a client
+        # retrying a dropped response is never throttled into giving up.
+        retry_key = idempotency_key
+        if retry_key is None and isinstance(payload, Mapping):
+            raw = payload.get("idempotency_key")
+            if isinstance(raw, str):
+                retry_key = raw
+        if retry_key is not None:
+            existing = self._job_for_key(retry_key)
+            if existing is not None:
+                self.registry.counter("service.jobs_idempotent").inc()
+                return existing
+
         self._bucket_for(client).take()
         request = parse_request(
             payload, max_cells=self.max_cells, max_jobs=self.max_jobs
+        )
+        key = (
+            idempotency_key
+            if idempotency_key is not None
+            else request.idempotency_key
         )
         sweep_key = request.sweep_key()
 
@@ -336,6 +428,8 @@ class JobManager:
             for job in self._jobs.values():
                 if job.sweep_key == sweep_key and job.state not in JobState.TERMINAL:
                     self.registry.counter("service.jobs_coalesced").inc()
+                    if key is not None:
+                        self._idempotency[key] = job.job_id
                     return job
 
         job = Job(
@@ -345,6 +439,7 @@ class JobManager:
             directory=self.jobs_root / "pending",
             client=client,
             submitted_at=time.time(),
+            idempotency_key=key,
         )
         job.directory = self.jobs_root / job.job_id
         job.directory.mkdir(parents=True, exist_ok=True)
@@ -355,6 +450,16 @@ class JobManager:
             job.status_path,
             {"state": JobState.QUEUED, "cells": len(request.specs)},
         )
+        self.journal.record(
+            job.job_id,
+            "submitted",
+            sweep_key=sweep_key,
+            client=client,
+            idempotency_key=key,
+            request=payload,
+            cells=len(request.specs),
+            submitted_at=job.submitted_at,
+        )
 
         if self._fully_cached(request):
             # Zero simulations ahead: replay inline through the shared cache
@@ -362,24 +467,46 @@ class JobManager:
             # a terminal job immediately, bypassing the queue entirely.
             job.deduped = True
             self.registry.counter("service.jobs_deduped").inc()
-            with self._lock:
-                self._jobs[job.job_id] = job
+            self._register(job)
             self._run_inline(job)
             return job
 
-        with self._lock:
-            self._jobs[job.job_id] = job
+        self._register(job)
+        # Journal "queued" BEFORE the put: once the job is on the queue a
+        # worker may append "running" at any moment, and the journal's
+        # merge is append-ordered.  A rejected put appends "rejected",
+        # which supersedes the optimistic "queued".
+        self.journal.record(job.job_id, "queued")
         try:
             self._queue.put_nowait(job)
         except queue.Full:
             with self._lock:
                 self._jobs.pop(job.job_id, None)
+                if key is not None:
+                    self._idempotency.pop(key, None)
             self.registry.counter("service.queue_rejected").inc()
+            self.journal.record(job.job_id, "rejected")
             raise QueueFull(
                 f"job queue is full ({self._queue.maxsize} waiting)"
             ) from None
         self.registry.counter("service.jobs_submitted").inc()
         return job
+
+    def _register(self, job: Job) -> None:
+        with self._lock:
+            self._jobs[job.job_id] = job
+            if job.idempotency_key is not None:
+                self._idempotency[job.idempotency_key] = job.job_id
+
+    def _job_for_key(self, key: str) -> Optional[Job]:
+        with self._lock:
+            job_id = self._idempotency.get(key)
+            if job_id is None:
+                return None
+            job = self._jobs.get(job_id)
+            if job is None:  # reaped since; the key no longer redeems
+                self._idempotency.pop(key, None)
+            return job
 
     def _bucket_for(self, client: str) -> TokenBucket:
         with self._lock:
@@ -413,6 +540,7 @@ class JobManager:
         with job.lock:
             job.state = JobState.RUNNING
             job.started_at = time.time()
+        self.journal.record(job.job_id, "running", started_at=job.started_at)
         try:
             report = run_sweep(
                 list(job.request.specs),
@@ -430,11 +558,20 @@ class JobManager:
             with job.lock:
                 job.state = JobState.FINISHED
                 job.finished_at = time.time()
+            self.journal.record(
+                job.job_id, "finished", finished_at=job.finished_at
+            )
         except Exception as error:
             with job.lock:
                 job.state = JobState.FAILED
                 job.error = f"{type(error).__name__}: {error}"
                 job.finished_at = time.time()
+            self.journal.record(
+                job.job_id,
+                "failed",
+                error=job.error,
+                finished_at=job.finished_at,
+            )
 
     # -- worker side -----------------------------------------------------------
 
@@ -452,8 +589,10 @@ class JobManager:
     def _run_job(self, job: Job) -> None:
         with job.lock:
             if job.cancel_event.is_set():
+                # cancel() already journalled the queued->cancelled flip.
                 job.state = JobState.CANCELLED
-                job.finished_at = time.time()
+                if job.finished_at is None:
+                    job.finished_at = time.time()
                 return
             job.state = JobState.RUNNING
             job.started_at = time.time()
@@ -463,6 +602,9 @@ class JobManager:
             with job.lock:
                 job.state = JobState.CANCELLED
                 job.finished_at = time.time()
+            self.journal.record(
+                job.job_id, "cancelled", finished_at=job.finished_at
+            )
             return
 
         parent_conn, child_conn = self._mp.Pipe(duplex=False)
@@ -481,6 +623,16 @@ class JobManager:
             job.process = process
         process.start()
         child_conn.close()
+        # The pid plus its kernel start time uniquely name this child
+        # incarnation: recovery after a crash can kill the orphan without
+        # ever signalling a recycled pid.
+        self.journal.record(
+            job.job_id,
+            "running",
+            pid=process.pid,
+            pid_start=pid_start_time(process.pid),
+            started_at=job.started_at,
+        )
 
         outcome: Optional[dict] = None
         while True:
@@ -493,6 +645,9 @@ class JobManager:
                     job.process = None
                 parent_conn.close()
                 write_status(job.status_path, {"state": JobState.CANCELLED})
+                self.journal.record(
+                    job.job_id, "cancelled", finished_at=job.finished_at
+                )
                 return
             if parent_conn.poll(timeout=0.1):
                 try:
@@ -536,15 +691,211 @@ class JobManager:
                 job.status_path,
                 {"state": JobState.FAILED, "error": job.error},
             )
+            self.journal.record(
+                job.job_id,
+                "failed",
+                error=job.error,
+                finished_at=job.finished_at,
+            )
+        else:
+            self.journal.record(
+                job.job_id, "finished", finished_at=job.finished_at
+            )
+
+    # -- crash recovery --------------------------------------------------------
+
+    def _recover_main(self) -> None:
+        """Background-thread wrapper: recovery must never wedge the service."""
+        try:
+            summary = self.recover()
+            logger.info(
+                "service recovery complete", extra=log_fields(**summary)
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            logger.error(
+                "service recovery failed; starting with an empty job table",
+                extra=log_fields(error=f"{type(error).__name__}: {error}"),
+            )
+        finally:
+            self._recovered.set()
+
+    @property
+    def recovering(self) -> bool:
+        """True while journal replay is still rebuilding the job table."""
+        return not self._recovered.is_set()
+
+    def wait_recovered(self, timeout: Optional[float] = None) -> bool:
+        """Block until recovery finishes; True when it has."""
+        return self._recovered.wait(timeout)
+
+    def recover(self) -> dict:
+        """Replay the service journal: restore, reap orphans, re-queue.
+
+        Terminal jobs inside their TTL come back as queryable records;
+        jobs the dead server left submitted/queued/running are re-queued
+        (after SIGKILLing any orphaned sweep child whose pid *and* kernel
+        start time still match the journal), and jobs whose request can
+        no longer be parsed — a torn ``submitted`` line — are restored as
+        FAILED so the client sees a terminal answer instead of a 404.
+        Re-queued jobs re-run through the shared :class:`ResultCache`, so
+        cells the previous incarnation completed are cache hits: zero
+        duplicate simulations.  The journal is compacted to the surviving
+        records before anything is re-queued (nothing else appends until
+        ``_recovered`` is set, so compaction cannot lose a transition).
+        """
+        with self.registry.timer("service.recovery").time():
+            records = self.journal.load()
+            live: Dict[str, dict] = {}
+            restored: List[Job] = []
+            requeue: List[Job] = []
+            orphans = 0
+            now = time.time()
+            for job_id, record in records.items():
+                state = record.get("state")
+                if state in _DROPPED_STATES:
+                    continue
+                if state in JobState.TERMINAL:
+                    finished = record.get("finished_at")
+                    if not isinstance(finished, (int, float)):
+                        finished = record.get("ts", now)
+                    if (
+                        self.job_ttl is not None
+                        and self.job_ttl > 0
+                        and now - float(finished) > self.job_ttl
+                    ):
+                        continue  # expired while down; falls out on compact
+                    job, _ = self._rebuild_job(job_id, record)
+                    with job.lock:
+                        job.state = state
+                        job.finished_at = float(finished)
+                        started = record.get("started_at")
+                        if isinstance(started, (int, float)):
+                            job.started_at = float(started)
+                        error = record.get("error")
+                        if isinstance(error, str):
+                            job.error = error
+                    live[job_id] = dict(record)
+                    restored.append(job)
+                    continue
+                # submitted/queued/running: the crash interrupted this job.
+                # Reap regardless of the merged state — a "running" append
+                # can race a "queued" one, but the pid fields survive the
+                # merge either way (no-op when the record has no pid).
+                orphans += self._reap_orphan(job_id, record)
+                job, problem = self._rebuild_job(job_id, record)
+                if problem is not None:
+                    with job.lock:
+                        job.state = JobState.FAILED
+                        job.error = problem
+                        job.finished_at = now
+                    failed = dict(record)
+                    failed.update(
+                        state="failed", error=problem, finished_at=now
+                    )
+                    live[job_id] = failed
+                    restored.append(job)
+                    continue
+                with job.lock:
+                    job.state = JobState.QUEUED
+                requeued_record = dict(record)
+                requeued_record["state"] = "queued"
+                requeued_record.pop("pid", None)
+                requeued_record.pop("pid_start", None)
+                live[job_id] = requeued_record
+                requeue.append(job)
+            self.journal.compact(live)
+            for job in restored:
+                self._register(job)
+            for job in requeue:
+                job.directory.mkdir(parents=True, exist_ok=True)
+                write_status(
+                    job.status_path,
+                    {
+                        "state": JobState.QUEUED,
+                        "cells": len(job.request.specs),
+                        "recovered": True,
+                    },
+                )
+                self._register(job)
+                self._queue.put(job)
+            recovered = len(restored) + len(requeue)
+            if recovered:
+                self.registry.counter("service.jobs_recovered").inc(recovered)
+            if orphans:
+                self.registry.counter("service.jobs_orphaned").inc(orphans)
+        return {
+            "recovered": recovered,
+            "restored": len(restored),
+            "requeued": len(requeue),
+            "orphans": orphans,
+        }
+
+    def _rebuild_job(self, job_id: str, record: dict) -> "tuple[Job, Optional[str]]":
+        """A Job from a merged journal record, plus a problem string if the
+        request payload can no longer be parsed (torn ``submitted`` line,
+        schema drift across versions)."""
+        problem: Optional[str] = None
+        try:
+            request = parse_request(
+                record.get("request"),
+                max_cells=self.max_cells,
+                max_jobs=self.max_jobs,
+            )
+        except RequestError as error:
+            request = SweepRequest(specs=(), options=SweepOptions())
+            problem = f"unrecoverable after restart: {error}"
+        submitted = record.get("submitted_at")
+        if not isinstance(submitted, (int, float)):
+            submitted = record.get("ts", time.time())
+        key = record.get("idempotency_key")
+        job = Job(
+            job_id=job_id,
+            request=request,
+            sweep_key=str(record.get("sweep_key", "")),
+            directory=self.jobs_root / job_id,
+            client=str(record.get("client", "anonymous")),
+            submitted_at=float(submitted),
+            idempotency_key=key if isinstance(key, str) else None,
+            recovered=True,
+        )
+        return job, problem
+
+    def _reap_orphan(self, job_id: str, record: dict) -> int:
+        """SIGKILL the orphaned sweep child of a crashed incarnation.
+
+        Only when the journalled pid's kernel start time still matches —
+        a pid the OS has recycled belongs to someone else and is left
+        alone.  Returns how many processes were killed (0 or 1).
+        """
+        pid = record.get("pid")
+        start = record.get("pid_start")
+        if not isinstance(pid, int) or not isinstance(start, str):
+            return 0
+        if pid_start_time(pid) != start:
+            return 0
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            return 0
+        logger.warning(
+            "killed orphaned sweep child from previous incarnation",
+            extra=log_fields(job=job_id, pid=pid),
+        )
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline and pid_start_time(pid) == start:
+            time.sleep(0.05)
+        return 1
 
     # -- queries and lifecycle -------------------------------------------------
 
     def get(self, job_id: str) -> Optional[Job]:
+        self._recovered.wait()
         self._reap()
         with self._lock:
             return self._jobs.get(job_id)
 
     def list_jobs(self) -> List[Job]:
+        self._recovered.wait()
         self._reap()
         with self._lock:
             return sorted(
@@ -565,9 +916,15 @@ class JobManager:
             if job.state in JobState.TERMINAL:
                 return job
             job.cancel_event.set()
+            cancelled_now = False
             if job.state == JobState.QUEUED:
                 job.state = JobState.CANCELLED
                 job.finished_at = time.time()
+                cancelled_now = True
+        if cancelled_now:
+            self.journal.record(
+                job.job_id, "cancelled", finished_at=job.finished_at
+            )
         self.registry.counter("service.jobs_cancelled").inc()
         return job
 
@@ -587,6 +944,11 @@ class JobManager:
                     expired.append(self._jobs.pop(job_id))
         for job in expired:
             self.registry.counter("service.jobs_expired").inc()
+            self.journal.record(job.job_id, "expired")
+            if job.idempotency_key is not None:
+                with self._lock:
+                    if self._idempotency.get(job.idempotency_key) == job.job_id:
+                        self._idempotency.pop(job.idempotency_key, None)
             for name in (
                 "request.json",
                 "status.json",
@@ -607,6 +969,39 @@ class JobManager:
     def draining(self) -> bool:
         return self._draining
 
+    def health_info(self) -> dict:
+        """Liveness/readiness signals for ``/healthz`` and ``/readyz``.
+
+        ``degraded`` lists everything currently wrong: recovery still
+        replaying the journal, the service draining, the job queue
+        saturated, or nonzero write-failure counters (result cache or
+        service journal) — the service still answers, but a crash right
+        now would lose more than usual.
+        """
+        depth = self._queue.qsize()
+        put_errors = self.registry.counter_value("cache.put_errors")
+        journal_errors = self.registry.counter_value("service.journal_errors")
+        degraded: List[str] = []
+        if self.recovering:
+            degraded.append("recovery_in_progress")
+        if self._draining:
+            degraded.append("draining")
+        if depth >= self._queue.maxsize:
+            degraded.append("queue_saturated")
+        if put_errors:
+            degraded.append("cache_put_errors")
+        if journal_errors:
+            degraded.append("journal_errors")
+        return {
+            "draining": self._draining,
+            "recovering": self.recovering,
+            "queue_depth": depth,
+            "queue_limit": self._queue.maxsize,
+            "cache_put_errors": put_errors,
+            "journal_errors": journal_errors,
+            "degraded": degraded,
+        }
+
     def drain(self, timeout: float = 30.0) -> bool:
         """Stop admitting work and wait for in-flight jobs to finish.
 
@@ -615,6 +1010,8 @@ class JobManager:
         """
         self._draining = True
         deadline = time.monotonic() + timeout
+        # Recovery may still be re-queueing; the drain must see those jobs.
+        self._recovered.wait(max(0.0, deadline - time.monotonic()))
         while time.monotonic() < deadline:
             with self._lock:
                 busy = [

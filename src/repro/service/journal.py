@@ -1,0 +1,218 @@
+"""The service journal: a crash-safe record of every job state transition.
+
+The sweep journal (:mod:`repro.resilience.journal`) makes one *sweep*
+resumable; this journal makes the *service* resumable.  Every job
+lifecycle transition is appended — durably, one fsynced line at a time —
+to ``<state-dir>/service.journal.jsonl``::
+
+    {"event": "job", "id": "abc", "state": "submitted", "sweep_key": ...,
+     "client": ..., "idempotency_key": ..., "request": {...},
+     "cells": N, "submitted_at": ..., "ts": ...}
+    {"event": "job", "id": "abc", "state": "queued", "ts": ...}
+    {"event": "job", "id": "abc", "state": "running", "pid": 123,
+     "pid_start": "...", "started_at": ..., "ts": ...}
+    {"event": "job", "id": "abc", "state": "finished", "finished_at": ...}
+
+The ``submitted`` record carries the validated request payload verbatim,
+so a restarted server can re-parse it and re-queue the job; ``running``
+records the child's pid **and its kernel start time**, so recovery can
+tell an orphaned sweep child from an unrelated process that reused the
+pid.  Appends and loads share the torn-tail-tolerant primitives of the
+sweep journal (:func:`~repro.resilience.journal.append_jsonl` /
+:func:`~repro.resilience.journal.load_jsonl`): a SIGKILL'd server leaves
+at most one torn final line, and :meth:`ServiceJournal.load` merges the
+surviving records per job, field-wise, in append order — the last intact
+transition wins, and earlier fields (the request payload, timestamps)
+are retained.
+
+Journal writes are **best-effort at the call site**: :meth:`record`
+returns ``False`` and counts ``service.journal_errors`` instead of
+raising, because a full disk must degrade the service (visible in
+``/readyz``), not kill it.  Fault injection for all of this lives in the
+plan's service seam (:data:`~repro.resilience.faults.SERVICE_KINDS`):
+``journal-error`` forces that OSError path, ``journal-torn`` writes the
+half-line a mid-append kill would leave, and ``serve-kill`` SIGKILLs the
+process right *after* an append — a deterministic crash point the
+recovery tests restart from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..obs.log import fields, get_logger
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..resilience.faults import FaultPlan
+from ..resilience.journal import append_jsonl, load_jsonl
+
+__all__ = ["SERVICE_JOURNAL_NAME", "ServiceJournal", "pid_start_time"]
+
+logger = get_logger("service.journal")
+
+#: File name of the service journal inside the state directory.
+SERVICE_JOURNAL_NAME = "service.journal.jsonl"
+
+
+def pid_start_time(pid: int) -> Optional[str]:
+    """The kernel start time of ``pid``, or None when unknowable.
+
+    Field 22 of ``/proc/<pid>/stat`` (clock ticks since boot) — a value
+    that, together with the pid, identifies one process incarnation.
+    Recovery records it when a job child starts and compares it before
+    killing an orphan, so a recycled pid belonging to some innocent
+    process is never signalled.  Returns None off Linux or when the
+    process is already gone; callers treat None as "do not kill".
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text()
+        # comm (field 2) may contain spaces/parens; parse after the last ')'.
+        return stat.rsplit(")", 1)[1].split()[19]
+    except (OSError, IndexError):
+        return None
+
+
+class ServiceJournal:
+    """Append-only JSONL record of the job table's state transitions."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        plan: Optional[FaultPlan] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.plan = plan
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._appends: Dict[str, int] = {}
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- writing ---------------------------------------------------------------
+
+    def record(self, job_id: str, state: str, **extra: object) -> bool:
+        """Durably append one transition; False (never raise) on OSError.
+
+        A failed append counts ``service.journal_errors`` and degrades
+        the service's readiness rather than failing the job — the job
+        still runs; only its crash-recoverability is weakened until the
+        disk recovers.
+        """
+        record = {"event": "job", "id": job_id, "state": state, "ts": time.time()}
+        record.update(extra)
+        with self._lock:
+            count = self._appends.get(state, 0) + 1
+            self._appends[state] = count
+        fault = (
+            self.plan.service_fault(state, count) if self.plan is not None else None
+        )
+        try:
+            if fault is not None and fault.kind == "journal-error":
+                raise OSError(f"injected journal error: {fault.message}")
+            if fault is not None and fault.kind == "journal-torn":
+                self._append_torn(record)
+            else:
+                append_jsonl(self.path, record)
+        except OSError as error:
+            self.registry.counter("service.journal_errors").inc()
+            logger.warning(
+                "service journal append failed; continuing degraded",
+                extra=fields(
+                    path=str(self.path), job=job_id, state=state, error=str(error)
+                ),
+            )
+            return False
+        if fault is not None and fault.kind == "serve-kill":
+            logger.warning(
+                "injected serve-kill: SIGKILLing the service process",
+                extra=fields(job=job_id, state=state),
+            )
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+        return True
+
+    def _append_torn(self, record: dict) -> None:
+        """Append the front half of the record, no newline — a torn tail."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line[: max(1, len(line) // 2)].encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self) -> Dict[str, dict]:
+        """Merged per-job records, in first-submission order of the file.
+
+        Records for the same job id are folded field-wise in append
+        order: the final ``state`` is the last intact transition, while
+        fields only the ``submitted`` record carries (the request
+        payload, the idempotency key) survive from the first.  Torn lines
+        are counted and skipped — a job whose *submitted* line was torn
+        simply recovers as unparseable (no request to replay), never as
+        an exception.
+        """
+        jobs: Dict[str, dict] = {}
+        records, torn = load_jsonl(self.path)
+        for record in records:
+            if record.get("event") != "job":
+                continue
+            job_id = record.get("id")
+            if not isinstance(job_id, str) or not isinstance(
+                record.get("state"), str
+            ):
+                continue
+            jobs.setdefault(job_id, {}).update(record)
+        if torn:
+            logger.warning(
+                "service journal has torn lines; skipped",
+                extra=fields(path=str(self.path), torn=torn),
+            )
+        return jobs
+
+    def compact(self, jobs: Dict[str, dict]) -> None:
+        """Atomically rewrite the journal as one merged record per job.
+
+        Called by recovery after it decides which jobs are still live —
+        expired and unparseable entries fall out, so the journal stays
+        proportional to the job table rather than to service uptime.
+        Only safe while nothing else is appending (recovery runs before
+        submissions are admitted and before any recovered job is
+        re-queued).
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                for record in jobs.values():
+                    handle.write(
+                        json.dumps(record, sort_keys=True, default=str) + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError as error:
+            self.registry.counter("service.journal_errors").inc()
+            logger.warning(
+                "service journal compaction failed; keeping the long journal",
+                extra=fields(path=str(self.path), error=str(error)),
+            )
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ServiceJournal({str(self.path)!r})"

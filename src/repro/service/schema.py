@@ -5,6 +5,7 @@ A sweep submitted over HTTP is a JSON document, validated here against a
 
     {
       "schema": 1,
+      "idempotency_key": "client-retry-token",   // optional, <= 200 chars
       "sweep": {
         "protocols": ["dir0b", "dragon"],
         "traces": ["POPS"],            // default: all standard traces
@@ -57,12 +58,14 @@ from ..trace.stream import SharingModel
 from ..trace.workloads import standard_trace_names
 
 __all__ = [
+    "MAX_IDEMPOTENCY_KEY_LENGTH",
     "REQUEST_SCHEMA_VERSION",
     "RequestError",
     "SweepOptions",
     "SweepRequest",
     "parse_request",
     "report_payload",
+    "validate_idempotency_key",
 ]
 
 #: Bump when the request document's shape changes incompatibly.  Requests
@@ -121,12 +124,20 @@ class SweepOptions:
     keep_going: bool = True
 
 
+#: Longest accepted client-supplied idempotency key.
+MAX_IDEMPOTENCY_KEY_LENGTH = 200
+
+
 @dataclass(frozen=True)
 class SweepRequest:
     """A validated submission: the resolved grid plus runner options."""
 
     specs: Tuple[RunSpec, ...]
     options: SweepOptions
+    #: Client-supplied retry token (body field or Idempotency-Key header):
+    #: resubmissions carrying the same key return the original job, even a
+    #: terminal one, instead of creating new work.  Not part of sweep_key().
+    idempotency_key: Optional[str] = None
 
     def cache_keys(self) -> List[str]:
         return [spec.cache_key() for spec in self.specs]
@@ -344,8 +355,16 @@ def parse_request(
         errors.error("", "request body must be a JSON object")
         errors.raise_if_any()
 
-    for key in sorted(set(payload) - {"schema", "sweep", "options"}):
+    known_fields = {"schema", "sweep", "options", "idempotency_key"}
+    for key in sorted(set(payload) - known_fields):
         errors.error(key, "unknown field")
+
+    idempotency_key = payload.get("idempotency_key")
+    if idempotency_key is not None:
+        problem = validate_idempotency_key(idempotency_key)
+        if problem is not None:
+            errors.error("idempotency_key", problem)
+            idempotency_key = None
 
     schema = payload.get("schema", REQUEST_SCHEMA_VERSION)
     if schema != REQUEST_SCHEMA_VERSION:
@@ -387,7 +406,27 @@ def parse_request(
                 }
             ]
         )
-    return SweepRequest(specs=tuple(specs), options=options)
+    return SweepRequest(
+        specs=tuple(specs),
+        options=options,
+        idempotency_key=idempotency_key,
+    )
+
+
+def validate_idempotency_key(value: object) -> Optional[str]:
+    """The problem with a client-supplied idempotency key, or None if fine.
+
+    Shared by the body path (``parse_request``) and the header path
+    (``Idempotency-Key``, validated in :meth:`JobManager.submit` before
+    any parsing), so both spellings obey one contract.
+    """
+    if not isinstance(value, str):
+        return "must be a string"
+    if not value:
+        return "must not be empty"
+    if len(value) > MAX_IDEMPOTENCY_KEY_LENGTH:
+        return f"must be at most {MAX_IDEMPOTENCY_KEY_LENGTH} characters"
+    return None
 
 
 def report_payload(report: SweepReport) -> dict:
